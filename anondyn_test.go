@@ -1,0 +1,58 @@
+package anondyn_test
+
+import (
+	"testing"
+
+	"anondyn"
+)
+
+func TestFacadeBounds(t *testing.T) {
+	if got := anondyn.LowerBoundRounds(40); got != 5 {
+		t.Fatalf("LowerBoundRounds(40) = %d, want 5", got)
+	}
+	if got := anondyn.MaxIndistinguishableRounds(40); got != 4 {
+		t.Fatalf("MaxIndistinguishableRounds(40) = %d, want 4", got)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The doc-comment tour, as a test.
+	wc, err := anondyn.WorstCaseAdversary(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anondyn.CountOnMultigraph(wc.Schedule, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 40 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if res.Rounds != anondyn.LowerBoundRounds(40) {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, anondyn.LowerBoundRounds(40))
+	}
+}
+
+func TestFacadePairAndSolver(t *testing.T) {
+	pair, err := anondyn.WorstCasePair(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := pair.M.LeaderView(pair.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := anondyn.SolveCountInterval(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Unique() {
+		t.Fatalf("worst-case view should stay ambiguous, got %v", iv)
+	}
+	if iv.MinSize > 13 || iv.MaxSize < 14 {
+		t.Fatalf("interval %v excludes the pair", iv)
+	}
+}

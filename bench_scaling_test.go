@@ -1,0 +1,200 @@
+// Scaling benchmarks: how the reproduction's algorithmic cores behave as
+// instances grow. These complement the per-artifact benchmarks in
+// bench_test.go with size sweeps.
+package anondyn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/chainnet"
+	"anondyn/internal/core"
+	"anondyn/internal/dynet"
+	"anondyn/internal/kernel"
+	"anondyn/internal/multigraph"
+	"anondyn/internal/runtime"
+)
+
+// BenchmarkIntervalSolverScaling measures the O(3^t) interval solver over
+// growing view depths on worst-case schedules.
+func BenchmarkIntervalSolverScaling(b *testing.B) {
+	for _, rounds := range []int{2, 4, 6, 8} {
+		rounds := rounds
+		b.Run(fmt.Sprintf("t=%d", rounds), func(b *testing.B) {
+			n := core.MinSizeForRounds(rounds)
+			pair, err := core.IndistinguishablePair(n, rounds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			view, err := pair.M.LeaderView(rounds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iv, err := kernel.SolveCountInterval(view)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if iv.Unique() {
+					b.Fatal("worst-case view should stay ambiguous")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerateSizesK3 measures the general-k enumerator on small
+// k = 3 instances.
+func BenchmarkEnumerateSizesK3(b *testing.B) {
+	mg, err := multigraph.Random(3, 3, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view, err := mg.LeaderView(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.EnumerateSizes(view, 3, kernel.EnumLimits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeaderView measures leader-state reconstruction over growing
+// schedules.
+func BenchmarkLeaderView(b *testing.B) {
+	for _, w := range []int{10, 100, 1000} {
+		w := w
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			mg, err := multigraph.Random(2, w, 6, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mg.LeaderView(6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChainEndToEnd measures the full message-passing Corollary 1
+// system.
+func BenchmarkChainEndToEnd(b *testing.B) {
+	for _, tc := range []struct{ n, chain int }{{13, 2}, {40, 5}} {
+		tc := tc
+		b.Run(fmt.Sprintf("n=%d/chain=%d", tc.n, tc.chain), func(b *testing.B) {
+			bound := core.LowerBoundRounds(tc.n)
+			for i := 0; i < b.N; i++ {
+				nw, err := chainnet.Build(tc.n, tc.chain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := chainnet.RunCount(nw, bound+nw.Delay()+5, runtime.RunSequential)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count != tc.n {
+					b.Fatalf("count %d", res.Count)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloodDelayingAdversary measures the maximally-delaying oblivious
+// adversary.
+func BenchmarkFloodDelayingAdversary(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			fd, err := dynet.NewFloodDelaying(n, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft, err := dynet.FloodTime(fd, 0, 0, 5*n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ft != n-1 {
+					b.Fatalf("flood time %d", ft)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorstCasePairConstruction measures building + verifying the
+// Lemma 5 adversarial pair at the largest bench size.
+func BenchmarkWorstCasePairConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pair, err := core.WorstCasePair(3280)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pair.Rounds != 8 {
+			b.Fatalf("rounds %d", pair.Rounds)
+		}
+	}
+}
+
+// BenchmarkIncrementalVsBatch compares the incremental solver against
+// re-solving from scratch each round, over a 6-round worst-case view.
+func BenchmarkIncrementalVsBatch(b *testing.B) {
+	n := core.MinSizeForRounds(6)
+	pair, err := core.IndistinguishablePair(n, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view, err := pair.M.LeaderView(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batch-per-round", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for rounds := 1; rounds <= 6; rounds++ {
+				if _, err := kernel.SolveCountInterval(view[:rounds]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver := kernel.NewIncrementalSolver()
+			for rounds := 0; rounds < 6; rounds++ {
+				if _, err := solver.AddRound(view[rounds]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkStructuredMatVec measures the matrix-free M_r product at depths
+// the dense matrix cannot reach.
+func BenchmarkStructuredMatVec(b *testing.B) {
+	for _, r := range []int{6, 8, 10} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			k := kernel.ClosedFormKernel(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prod, err := kernel.StructuredMulVec(r, 2, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !prod.IsZero() {
+					b.Fatal("M_r k_r != 0")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI's run() with stdout redirected to a temp file and
+// returns the output.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestBoundCommand(t *testing.T) {
+	out, err := capture(t, []string{"-bound", "-n", "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T(n) = 4", "T(n)+1 = 5", "= 40 <= n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPairCommand(t *testing.T) {
+	out, err := capture(t, []string{"-pair", "-n", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"|W| = 4", "|W| = 5", "through 2 completed rounds", "diverge at round 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLeaderStateCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "leaderstate", "-n", "13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 13 nodes in 4 rounds (exact bound: 4)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestOracleCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "oracle", "-n", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 23 nodes in 2 rounds") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestStarCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "star", "-n", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 10 nodes in 1 round") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestPushSumCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "pushsum", "-n", "9", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true size 10") || !strings.Contains(out, "converged=true") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestChainCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "chain", "-n", "13", "-chain", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 13 nodes in 7 rounds = delay 3 + bound 4") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestUpperBoundCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "upperbound", "-n", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true size 23") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestConcurrentFlag(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "star", "-n", "5", "-concurrent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 6 nodes") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestErrorsAndUsage(t *testing.T) {
+	cases := [][]string{
+		{},                           // nothing requested
+		{"-algo", "nonsense"},        // unknown algorithm
+		{"-algo", "star", "-n", "0"}, // bad n
+		{"-badflag"},                 // flag parse error
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Fatalf("args %v should error", args)
+		}
+	}
+}
+
+func TestAnonymousCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "anonymous", "-n", "13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 13 nodes in 4 rounds") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestUnconsciousCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "unconscious", "-n", "13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conscious termination     : round 4", "fooled by the size-14 twin"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command experiments regenerates every paper-vs-measured row of the
+// reproduction (the figures, lemmas, theorems, corollary, discussion, and
+// ablations indexed in DESIGN.md) and prints them as a markdown table.
+// It exits non-zero if any measurement disagrees with the paper.
+//
+// Usage:
+//
+//	experiments [-id F1,T2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"anondyn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	idFilter := fs.String("id", "", "comma-separated experiment IDs to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wanted := map[string]bool{}
+	if *idFilter != "" {
+		for _, id := range strings.Split(*idFilter, ",") {
+			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	var rows []experiments.Row
+	for _, r := range experiments.All() {
+		if len(wanted) > 0 && !wanted[r.ID] {
+			continue
+		}
+		got, err := r.Fn()
+		if err != nil {
+			return fmt.Errorf("run %s: %w", r.ID, err)
+		}
+		rows = append(rows, got...)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no experiments matched filter %q", *idFilter)
+	}
+	fmt.Fprint(out, experiments.FormatTable(rows))
+	if !experiments.AllMatch(rows) {
+		return fmt.Errorf("some measurements disagree with the paper")
+	}
+	fmt.Fprintf(out, "\n%d rows, all matching the paper's claims.\n", len(rows))
+	return nil
+}

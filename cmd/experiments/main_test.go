@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFiltered(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-id", "F3,f4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "Figure 4") {
+		t.Fatalf("filtered output missing figures:\n%s", out)
+	}
+	if strings.Contains(out, "Theorem 1") {
+		t.Fatalf("filter leaked other experiments:\n%s", out)
+	}
+	if !strings.Contains(out, "all matching") {
+		t.Fatalf("missing success footer:\n%s", out)
+	}
+}
+
+func TestRunUnknownFilter(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-id", "ZZ"}, &sb); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

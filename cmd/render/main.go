@@ -1,0 +1,117 @@
+// Command render writes the paper's figures as Graphviz DOT files: the
+// three rounds of Figure 1's dynamic graph, the Figure 2 transformation
+// (ℳ(DBL₃) image in 𝒢(PD)₂), and the PD₂ realizations of the Figure 3 and
+// Figure 4 indistinguishable pairs.
+//
+// Usage:
+//
+//	render -dir docs/figures
+//
+// Render the .dot files with `dot -Tpng f1_round0.dot -o f1_round0.png`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"anondyn/internal/figures"
+	"anondyn/internal/multigraph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	dir := fs.String("dir", "figures", "output directory for .dot files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	files, err := renderAll(*dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		fmt.Fprintln(out, "wrote", f)
+	}
+	return nil
+}
+
+func renderAll(dir string) ([]string, error) {
+	var files []string
+	write := func(name, dot string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		files = append(files, path)
+		return nil
+	}
+
+	f1, err := figures.NewFigure1()
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < f1.Period; r++ {
+		name := fmt.Sprintf("f1_round%d.dot", r)
+		if err := write(name, f1.Net.Snapshot(r).DOT(fmt.Sprintf("figure1_round%d", r), f1.Leader)); err != nil {
+			return nil, err
+		}
+	}
+
+	f2, err := figures.NewFigure2()
+	if err != nil {
+		return nil, err
+	}
+	if err := write("f2_pd2.dot", f2.Net.Snapshot(0).DOT("figure2_pd2_image", f2.Layout.Leader)); err != nil {
+		return nil, err
+	}
+
+	pairDot := func(m *multigraph.Multigraph, name string) error {
+		net, layout, err := m.ToPD2()
+		if err != nil {
+			return err
+		}
+		var lastErr error
+		for r := 0; r < m.Horizon(); r++ {
+			g := net.Snapshot(r)
+			lastErr = write(fmt.Sprintf("%s_round%d.dot", name, r),
+				g.DOT(fmt.Sprintf("%s_round%d", name, r), layout.Leader))
+			if lastErr != nil {
+				return lastErr
+			}
+		}
+		return nil
+	}
+	f3, err := figures.NewFigure3()
+	if err != nil {
+		return nil, err
+	}
+	if err := pairDot(f3.M, "f3_m"); err != nil {
+		return nil, err
+	}
+	if err := pairDot(f3.MPrime, "f3_mprime"); err != nil {
+		return nil, err
+	}
+	f4, err := figures.NewFigure4()
+	if err != nil {
+		return nil, err
+	}
+	if err := pairDot(f4.M, "f4_m"); err != nil {
+		return nil, err
+	}
+	if err := pairDot(f4.MPrime, "f4_mprime"); err != nil {
+		return nil, err
+	}
+	return files, nil
+}

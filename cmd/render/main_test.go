@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderAll(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 Figure-1 rounds + Figure 2 + Figure 3 M (1 round) + M' (1 round)
+	// + Figure 4 M (2 rounds) + M' (2 rounds) = 10 files.
+	if len(entries) != 10 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("got %d files: %v", len(entries), names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f1_round0.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := string(data)
+	if !strings.Contains(dot, "graph figure1_round0 {") {
+		t.Fatalf("bad DOT header:\n%s", dot)
+	}
+	if !strings.Contains(dot, "doublecircle") {
+		t.Fatal("leader not highlighted")
+	}
+	if got := strings.Count(sb.String(), "wrote "); got != 10 {
+		t.Fatalf("reported %d writes", got)
+	}
+}
+
+func TestRenderBadDir(t *testing.T) {
+	var sb strings.Builder
+	// A file path cannot be created as a directory.
+	tmp := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", filepath.Join(tmp, "sub")}, &sb); err == nil {
+		t.Fatal("unusable directory should error")
+	}
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

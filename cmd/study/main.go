@@ -1,0 +1,71 @@
+// Command study runs the Monte-Carlo average-vs-worst-case comparison: for
+// each network size it measures the leader-state counter's termination
+// round over many random ℳ(DBL)₂ schedules and prints the distribution
+// next to the adversarial worst case (which always equals the Theorem 1
+// bound).
+//
+// Usage:
+//
+//	study [-sizes 13,40,121,364] [-trials 100] [-horizon 10] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"anondyn/internal/montecarlo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "study:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("study", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "13,40,121,364", "comma-separated network sizes")
+	trials := fs.Int("trials", 100, "random schedules per size")
+	horizon := fs.Int("horizon", 10, "rounds per trial")
+	seed := fs.Int64("seed", 1, "base seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sizes []int
+	for _, part := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", part, err)
+		}
+		sizes = append(sizes, n)
+	}
+	comps, err := montecarlo.Compare(sizes, *trials, *horizon, *seed)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprintln(out, "n,mean,p50,p90,p99,max,worst_case,bound")
+		for _, c := range comps {
+			fmt.Fprintf(out, "%d,%.3f,%d,%d,%d,%d,%d,%d\n",
+				c.N, c.Average.Mean, c.Average.P50, c.Average.P90, c.Average.P99,
+				c.Average.Max, c.WorstCase, c.LowerBound)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "%8s  %8s  %5s  %5s  %5s  %5s  %11s\n",
+		"n", "mean", "p50", "p90", "p99", "max", "worst case")
+	for _, c := range comps {
+		fmt.Fprintf(out, "%8d  %8.2f  %5d  %5d  %5d  %5d  %11d\n",
+			c.N, c.Average.Mean, c.Average.P50, c.Average.P90, c.Average.P99,
+			c.Average.Max, c.WorstCase)
+	}
+	fmt.Fprintln(out, "\nrandom schedules resolve in a flat, small number of rounds; only the")
+	fmt.Fprintln(out, "kernel-tuned adversary forces the logarithmic worst case.")
+	return nil
+}

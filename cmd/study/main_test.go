@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStudyTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sizes", "13,40", "-trials", "10", "-horizon", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "worst case") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "      13  ") || !strings.Contains(out, "      40  ") {
+		t.Fatalf("missing size rows:\n%s", out)
+	}
+}
+
+func TestStudyCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sizes", "13", "-trials", "5", "-horizon", "8", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "n,mean,p50,p90,p99,max,worst_case,bound\n") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, ",4,4\n") { // worst case and bound for n=13
+		t.Fatalf("missing n=13 row:\n%s", out)
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-sizes", "abc"},
+		{"-sizes", "13", "-trials", "0"},
+		{"-badflag"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v should error", args)
+		}
+	}
+}

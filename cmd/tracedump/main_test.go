@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anondyn/internal/trace"
+)
+
+func TestDumpToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "4", "-chain", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.FromJSON([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("output is not a valid trace: %v", err)
+	}
+	if tr.N != 1+1+2+4 {
+		t.Fatalf("trace N = %d, want 8", tr.N)
+	}
+	if len(tr.Rounds) != 2 { // indistinguishability horizon for n=4
+		t.Fatalf("rounds = %d, want 2", len(tr.Rounds))
+	}
+}
+
+func TestDumpToFileAndTwinIndistinguishable(t *testing.T) {
+	dir := t.TempDir()
+	pathM := filepath.Join(dir, "m.json")
+	pathT := filepath.Join(dir, "t.json")
+	var sb strings.Builder
+	if err := run([]string{"-n", "13", "-o", pathM}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "13", "-twin", "-o", pathT}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Fatalf("missing confirmation: %s", sb.String())
+	}
+	load := func(path string) *trace.Trace {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.FromJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	m := load(pathM)
+	tw := load(pathT)
+	if tw.N != m.N+1 {
+		t.Fatalf("twin has %d nodes, original %d", tw.N, m.N)
+	}
+	// The leader's transcripts are identical through the horizon even
+	// though the networks have different sizes.
+	eq, err := trace.TranscriptsEqual(m, tw, 0, len(m.Rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("leader transcripts differ: the twin is distinguishable")
+	}
+}
+
+func TestDumpCustomRounds(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "4", "-rounds", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.FromJSON([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rounds) != 5 {
+		t.Fatalf("rounds = %d, want 5", len(tr.Rounds))
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-chain", "-1"},
+		{"-bogus"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v should error", args)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package anondyn_test
+
+import (
+	"fmt"
+
+	"anondyn"
+	"anondyn/internal/core"
+)
+
+// The headline result as four lines: the worst-case adversary for 40
+// anonymous nodes, the optimal counter, and the exact bound.
+func Example() {
+	wc, err := anondyn.WorstCaseAdversary(40)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := anondyn.CountOnMultigraph(wc.Schedule, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Count, res.Rounds, anondyn.LowerBoundRounds(40))
+	// Output: 40 5 5
+}
+
+// LowerBoundRounds is the exact form of Theorem 1: ⌊log₃(2n+1)⌋ + 1.
+func ExampleLowerBoundRounds() {
+	for _, n := range []int{1, 4, 13, 40, 121, 364} {
+		fmt.Printf("n=%d: %d rounds\n", n, anondyn.LowerBoundRounds(n))
+	}
+	// Output:
+	// n=1: 2 rounds
+	// n=4: 3 rounds
+	// n=13: 4 rounds
+	// n=40: 5 rounds
+	// n=121: 6 rounds
+	// n=364: 7 rounds
+}
+
+// WorstCasePair builds two networks of different sizes whose leaders see
+// exactly the same thing — Lemma 5 made concrete.
+func ExampleWorstCasePair() {
+	pair, err := anondyn.WorstCasePair(13)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	va, _ := pair.M.LeaderView(pair.Rounds)
+	vb, _ := pair.MPrime.LeaderView(pair.Rounds)
+	fmt.Println(pair.M.W(), pair.MPrime.W(), va.Equal(vb))
+	// Output: 13 14 true
+}
+
+// SolveCountInterval exposes the leader's residual uncertainty: the exact
+// set of network sizes consistent with what it has seen.
+func ExampleSolveCountInterval() {
+	pair, err := anondyn.WorstCasePair(4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for r := 1; r <= pair.Rounds; r++ {
+		view, _ := pair.M.LeaderView(r)
+		iv, _ := anondyn.SolveCountInterval(view)
+		fmt.Printf("after round %d: %s\n", r, iv)
+	}
+	// Output:
+	// after round 1: [3,6]
+	// after round 2: [4,5]
+}
+
+// The chain-composition bound of Corollary 1 in closed form.
+func ExampleMaxIndistinguishableRounds() {
+	n := 1000
+	t := anondyn.MaxIndistinguishableRounds(n)
+	fmt.Printf("the adversary hides one node among %d for %d rounds; threshold size %d\n",
+		n, t, core.MinSizeForRounds(t))
+	// Output: the adversary hides one node among 1000 for 6 rounds; threshold size 364
+}

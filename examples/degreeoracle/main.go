@@ -1,0 +1,80 @@
+// Degreeoracle: the knowledge cliff of the paper's Discussion section.
+//
+// The same counting problem, the same G(PD)_2 topology class, two models:
+//
+//   - anonymous broadcast only: the worst-case adversary forces
+//     ⌊log₃(2n+1)⌋ + 1 rounds (Theorem 2);
+//   - plus a local degree oracle (each node learns |N(v,r)| before
+//     sending): an exact count in 2 rounds, at every size.
+//
+// This example sweeps network sizes and prints both columns side by side.
+//
+// Run with:
+//
+//	go run ./examples/degreeoracle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anondyn/internal/core"
+	"anondyn/internal/counting"
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// restrictedPD2 builds a restricted G(PD)_2 network: leader 0, two relays,
+// outer nodes attached to rotating relay subsets and never to each other.
+func restrictedPD2(outer int) (dynet.Dynamic, []graph.NodeID, []graph.NodeID) {
+	const k = 2
+	n := 1 + k + outer
+	v1 := []graph.NodeID{1, 2}
+	v2 := make([]graph.NodeID, outer)
+	for i := range v2 {
+		v2[i] = graph.NodeID(1 + k + i)
+	}
+	net := dynet.NewFunc(n, func(r int) *graph.Graph {
+		g := graph.New(n)
+		for _, rel := range v1 {
+			_ = g.AddEdge(0, rel)
+		}
+		for i, w := range v2 {
+			_ = g.AddEdge(v1[(i+r)%k], w)
+			if i%2 == 1 {
+				_ = g.AddEdge(v1[(i+r+1)%k], w)
+			}
+		}
+		return g
+	})
+	return net, v1, v2
+}
+
+func run() error {
+	fmt.Printf("%8s  %28s  %24s\n", "|W|", "anonymous (worst case) rounds", "with degree oracle")
+	for _, n := range []int{3, 9, 27, 81, 243, 729} {
+		anon, err := core.WorstCaseCountRounds(n)
+		if err != nil {
+			return err
+		}
+		net, v1, v2 := restrictedPD2(n)
+		count, rounds, err := counting.OracleCount(net, 0, v1, v2, runtime.RunSequential)
+		if err != nil {
+			return err
+		}
+		if count != 1+2+n {
+			return fmt.Errorf("oracle miscounted: %d for |V|=%d", count, 1+2+n)
+		}
+		fmt.Printf("%8d  %28d  %24d\n", n, anon.Rounds, rounds)
+	}
+	fmt.Println("\nanonymous rounds grow as ⌊log₃(2n+1)⌋+1; the oracle column is flat —")
+	fmt.Println("one bit of pre-send local knowledge removes the entire cost of anonymity.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module anondyn
+
+go 1.22

@@ -1,0 +1,41 @@
+package chainnet
+
+import (
+	"anondyn/internal/runtime"
+	"anondyn/internal/trace"
+)
+
+// RecordTrace runs the full-information protocol on the network for a
+// fixed number of rounds under the trace recorder (sequential engine, as
+// recording requires) and returns the complete execution record.
+//
+// Comparing the leader transcript (node 0) of a Lemma 5 pair's two
+// recordings shows byte-identical views through the indistinguishability
+// horizon — the message-level form of Theorem 1.
+func RecordTrace(nw *Network, rounds int) (*trace.Trace, error) {
+	procs := make([]runtime.Process, nw.N())
+	procs[nw.Leader] = newLeaderProc()
+	for _, c := range nw.Chain {
+		procs[c] = newChainProc()
+	}
+	for j, r := range nw.Relays {
+		procs[r] = &relayProc{label: j + 1}
+	}
+	for _, w := range nw.W {
+		procs[w] = &wProc{}
+	}
+	cfg := &runtime.Config{
+		Net:       nw.Net,
+		Procs:     procs,
+		Canon:     canon,
+		MaxRounds: rounds,
+	}
+	rec, wrapped, err := trace.NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runtime.RunSequential(wrapped); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}

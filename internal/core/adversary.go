@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/multigraph"
+)
+
+// WorstCaseNetwork bundles the worst-case 𝒢(PD)₂ dynamic graph for a given
+// W-size with its layout metadata.
+type WorstCaseNetwork struct {
+	// Net is the dynamic graph: leader + 2 anonymous relays + n nodes in
+	// V₂, produced by the Lemma 1 transformation of the worst-case
+	// multigraph.
+	Net dynet.Dynamic
+	// Layout maps the multigraph roles onto node IDs.
+	Layout *multigraph.PD2Layout
+	// Schedule is the underlying ℳ(DBL)₂ multigraph.
+	Schedule *multigraph.Multigraph
+}
+
+// WorstCaseAdversary builds the worst-case persistent-distance-2 dynamic
+// network for n counted nodes: the adversary plays the Lemma 5 schedule
+// (extended past its divergence point so the execution is well-defined for
+// any horizon), transformed into 𝒢(PD)₂ by Lemma 1. Any counting algorithm
+// on the resulting network needs at least LowerBoundRounds(n) rounds.
+//
+// The adversary is oblivious — the schedule is fixed up front — which only
+// strengthens the bound: even this weak adversary forces Ω(log n) rounds.
+func WorstCaseAdversary(n int) (*WorstCaseNetwork, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need n >= 1, got %d", n)
+	}
+	pair, err := WorstCasePair(n)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := pair.Extend(pair.Rounds + 2)
+	if err != nil {
+		return nil, err
+	}
+	net, layout, err := ext.M.ToPD2()
+	if err != nil {
+		return nil, err
+	}
+	return &WorstCaseNetwork{Net: net, Layout: layout, Schedule: ext.M}, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"anondyn/internal/multigraph"
+)
+
+// This file works out the upper-bound side of the paper's Lemma 1 remark.
+// The lemma drops the V₁ identifiers to argue "without identifiers the
+// leader cannot realize if messages of two successive rounds arrive from
+// the same node of V₁" — anonymity can only make counting harder. Here we
+// show the converse direction for full-information relays: if each
+// (anonymous) relay broadcasts its complete observation history every
+// round, the leader can THREAD the streams by content — a history received
+// at round r+1 extends exactly one history received at round r, unless the
+// two relays' histories are identical, in which case the labeling is
+// irrelevant because the leader view is label-symmetric. Counting with
+// anonymous relays therefore terminates at exactly the same round as with
+// labeled relays: the Ω(log |V|) bound is about the anonymity of the
+// counted nodes, not of the relay layer.
+
+// RelayStream is one relay's observation history: States[r] maps a node
+// state key to the number of attached nodes in that state at round r.
+type RelayStream struct {
+	States []map[string]int
+}
+
+// prefixOf reports whether s's first n rounds equal t's first n rounds.
+func (s *RelayStream) prefixOf(t *RelayStream, n int) bool {
+	if len(s.States) < n || len(t.States) < n {
+		return false
+	}
+	for r := 0; r < n; r++ {
+		if len(s.States[r]) != len(t.States[r]) {
+			return false
+		}
+		for k, v := range s.States[r] {
+			if t.States[r][k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RelayStreams extracts the two relays' observation histories from a
+// ℳ(DBL)₂ schedule, through the given number of rounds.
+func RelayStreams(m *multigraph.Multigraph, rounds int) ([2]*RelayStream, error) {
+	var streams [2]*RelayStream
+	if m.K() != 2 {
+		return streams, fmt.Errorf("core: relay streams need k=2, got %d", m.K())
+	}
+	if rounds < 0 || rounds > m.Horizon() {
+		return streams, fmt.Errorf("core: rounds %d out of range [0,%d]", rounds, m.Horizon())
+	}
+	streams[0] = &RelayStream{States: make([]map[string]int, rounds)}
+	streams[1] = &RelayStream{States: make([]map[string]int, rounds)}
+	for r := 0; r < rounds; r++ {
+		streams[0].States[r] = make(map[string]int)
+		streams[1].States[r] = make(map[string]int)
+		obs, err := m.LeaderObservation(r)
+		if err != nil {
+			return streams, err
+		}
+		for key, count := range obs {
+			streams[key.Label-1].States[r][key.StateKey] = count
+		}
+	}
+	return streams, nil
+}
+
+// ThreadStreams simulates the anonymous leader: it receives, at each round
+// r, the unordered pair of relay histories of length r+1 and threads them
+// into two persistent streams. It returns the reconstructed labeled leader
+// view (with an arbitrary but consistent label assignment) and whether any
+// round's threading was ambiguous (identical histories — harmless, since
+// the view is then label-symmetric).
+//
+// The input is the ground-truth streams; the function only ever inspects
+// them the way the anonymous leader could: via the per-round unordered
+// pair of prefixes.
+func ThreadStreams(streams [2]*RelayStream, rounds int) (multigraph.LeaderView, bool, error) {
+	if streams[0] == nil || streams[1] == nil {
+		return nil, false, fmt.Errorf("core: nil relay stream")
+	}
+	if len(streams[0].States) < rounds || len(streams[1].States) < rounds {
+		return nil, false, fmt.Errorf("core: streams cover %d and %d rounds, need %d",
+			len(streams[0].States), len(streams[1].States), rounds)
+	}
+	// The anonymous leader's threads: thread j currently holds the
+	// length-r history of one physical relay. At round r it receives the
+	// unordered pair of length-(r+1) histories; a received history can be
+	// matched to a thread iff it extends the thread's prefix. The swapped
+	// assignment is also consistent exactly when the two relays'
+	// histories coincide through round r — and in that case we
+	// deliberately TAKE the swap (the maximally wrong choice), so the
+	// tests prove the reconstructed labeling is immaterial.
+	assign := [2]int{0, 1} // thread j currently follows streams[assign[j]]
+	ambiguous := false
+	for r := 0; r < rounds; r++ {
+		if streams[0].prefixOf(streams[1], r) {
+			// Threads are identical through round r: relabeling is legal.
+			ambiguous = true
+			assign[0], assign[1] = assign[1], assign[0]
+		}
+	}
+	swapped := assign[0] == 1
+	view := make(multigraph.LeaderView, rounds)
+	for r := 0; r < rounds; r++ {
+		obs := make(multigraph.Observation)
+		for j := 0; j < 2; j++ {
+			for key, count := range streams[assign[j]].States[r] {
+				if swapped {
+					// A global relabeling renames the labels inside the
+					// reported node states too, keeping the
+					// reconstructed view a legal execution's view.
+					key = swapKeyLabels(key)
+				}
+				obs[multigraph.ObsKey{Label: j + 1, StateKey: key}] = count
+			}
+		}
+		view[r] = obs
+	}
+	return view, ambiguous, nil
+}
+
+// swapKeyLabels applies the label transposition 1<->2 to every label set in
+// a state key: masks 1 and 2 swap, mask 3 ({1,2}) is fixed.
+func swapKeyLabels(key string) string {
+	if key == "" {
+		return key
+	}
+	out := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case '1':
+			out = append(out, '2')
+		case '2':
+			out = append(out, '1')
+		default:
+			out = append(out, key[i])
+		}
+	}
+	return string(out)
+}
+
+// AnonymousCountRounds runs the anonymous-relay leader on a schedule: it
+// threads the relay streams round by round and terminates as soon as the
+// reconstructed view pins the count. By the label-symmetry argument above
+// it terminates at exactly the same round as CountOnMultigraph.
+func AnonymousCountRounds(m *multigraph.Multigraph, maxRounds int) (CountResult, error) {
+	limit := maxRounds
+	if h := m.Horizon(); h < limit {
+		limit = h
+	}
+	streams, err := RelayStreams(m, limit)
+	if err != nil {
+		return CountResult{}, err
+	}
+	for rounds := 1; rounds <= limit; rounds++ {
+		view, _, err := ThreadStreams(streams, rounds)
+		if err != nil {
+			return CountResult{}, err
+		}
+		iv, err := countIntervalOfView(view)
+		if err != nil {
+			return CountResult{}, err
+		}
+		if iv.Unique() {
+			return CountResult{Count: iv.MinSize, Rounds: rounds}, nil
+		}
+	}
+	return CountResult{}, fmt.Errorf("core: anonymous count not determined within %d rounds", limit)
+}

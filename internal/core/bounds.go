@@ -1,0 +1,86 @@
+// Package core packages the paper's primary contribution as a library: the
+// Ω(log |V|) counting lower bound for anonymous dynamic networks in
+// 𝒢(PD)₂ and ℳ(DBL)ₖ (Theorems 1-2), the D + Ω(log |V|) corollary, the
+// worst-case adversary that realizes the bound by constructing
+// indistinguishable network pairs (Lemma 5), and the leader-state counting
+// algorithm whose termination round matches the bound exactly.
+package core
+
+import "math/big"
+
+// MaxIndistinguishableRounds returns the largest number of completed rounds
+// T(n) for which the worst-case adversary can keep two ℳ(DBL)₂ multigraphs
+// of sizes n and n+1 indistinguishable to the leader: the largest T with
+// Σ⁻k_{T-1} = (3^T - 1)/2 ≤ n, i.e. T(n) = ⌊log₃(2n+1)⌋ (Lemma 5 in
+// completed-round form). For n = 0 it returns 0: a lone leader hears
+// silence and knows it immediately.
+func MaxIndistinguishableRounds(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Largest T with 3^T <= 2n+1.
+	t := 0
+	pow := 1
+	for pow*3 <= 2*n+1 {
+		pow *= 3
+		t++
+	}
+	return t
+}
+
+// LowerBoundRounds returns the minimum number of completed rounds after
+// which ANY counting algorithm can output |W| = n on ℳ(DBL)₂ (and hence, by
+// Lemma 1, on 𝒢(PD)₂): MaxIndistinguishableRounds(n) + 1. This is the
+// paper's Theorem 1/Theorem 2 bound, Ω(log n), in exact form.
+func LowerBoundRounds(n int) int {
+	return MaxIndistinguishableRounds(n) + 1
+}
+
+// MinSizeForRounds is the inverse of MaxIndistinguishableRounds: the least
+// network size n for which the adversary can sustain indistinguishability
+// for T completed rounds, namely Σ⁻k_{T-1} = (3^T - 1)/2.
+func MinSizeForRounds(t int) int {
+	if t <= 0 {
+		return 0
+	}
+	pow := 1
+	for i := 0; i < t; i++ {
+		pow *= 3
+	}
+	return (pow - 1) / 2
+}
+
+// LowerBoundRoundsBig is LowerBoundRounds for arbitrarily large sizes.
+func LowerBoundRoundsBig(n *big.Int) *big.Int {
+	if n.Sign() <= 0 {
+		return big.NewInt(1)
+	}
+	target := new(big.Int).Lsh(n, 1) // 2n
+	target.Add(target, big.NewInt(1))
+	t := int64(0)
+	pow := big.NewInt(1)
+	three := big.NewInt(3)
+	next := new(big.Int)
+	for {
+		next.Mul(pow, three)
+		if next.Cmp(target) > 0 {
+			break
+		}
+		pow.Set(next)
+		t++
+	}
+	return big.NewInt(t + 1)
+}
+
+// ChainLowerBoundRounds returns the Corollary 1 bound for a network with
+// dynamic diameter D built by the paper's chain composition: the leader is
+// separated from the 𝒢(PD)₂ core by a static chain, so every observation
+// reaches it delay rounds late and counting needs at least
+// delay + LowerBoundRounds(n) rounds, where delay = D - 2 is the extra
+// distance beyond the PD₂ core's own depth.
+func ChainLowerBoundRounds(n, delay int) int {
+	if delay < 0 {
+		delay = 0
+	}
+	return delay + LowerBoundRounds(n)
+}

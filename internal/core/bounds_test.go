@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxIndistinguishableRoundsTable(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 1}, // Σ⁻k_0 = 1
+		{2, 1},
+		{3, 1},
+		{4, 2}, // Σ⁻k_1 = 4 (paper: n >= 4 has two round-1 solutions)
+		{12, 2},
+		{13, 3}, // Σ⁻k_2 = 13
+		{39, 3},
+		{40, 4}, // Σ⁻k_3 = 40
+		{121, 5},
+		{1000, 6},
+	}
+	for _, tc := range cases {
+		if got := MaxIndistinguishableRounds(tc.n); got != tc.want {
+			t.Errorf("MaxIndistinguishableRounds(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLowerBoundRoundsMatchesPaperExamples(t *testing.T) {
+	// The paper observes: for n <= 3 the leader can count in 2 rounds;
+	// for n >= 4 two round-1-indistinguishable solutions exist.
+	if got := LowerBoundRounds(3); got != 2 {
+		t.Fatalf("LowerBoundRounds(3) = %d, want 2", got)
+	}
+	if got := LowerBoundRounds(4); got != 3 {
+		t.Fatalf("LowerBoundRounds(4) = %d, want 3", got)
+	}
+}
+
+func TestMinSizeForRoundsInverse(t *testing.T) {
+	for tt := 0; tt <= 10; tt++ {
+		n := MinSizeForRounds(tt)
+		if tt == 0 {
+			if n != 0 {
+				t.Fatalf("MinSizeForRounds(0) = %d", n)
+			}
+			continue
+		}
+		if got := MaxIndistinguishableRounds(n); got != tt {
+			t.Fatalf("MaxIndistinguishableRounds(MinSizeForRounds(%d)=%d) = %d", tt, n, got)
+		}
+		if got := MaxIndistinguishableRounds(n - 1); got != tt-1 {
+			t.Fatalf("size %d should sustain only %d rounds, got %d", n-1, tt-1, got)
+		}
+	}
+	if MinSizeForRounds(-1) != 0 {
+		t.Fatal("negative rounds should give 0")
+	}
+}
+
+func TestLowerBoundGrowsLogarithmically(t *testing.T) {
+	// T(3n+1) = T(n)+1 when n = (3^t-1)/2 exactly; more loosely, tripling
+	// n increases the bound by exactly one for saturated sizes.
+	for tt := 1; tt <= 8; tt++ {
+		n := MinSizeForRounds(tt)
+		nNext := MinSizeForRounds(tt + 1)
+		if nNext != 3*n+1 {
+			t.Fatalf("saturated sizes: got %d after %d, want %d", nNext, n, 3*n+1)
+		}
+	}
+}
+
+func TestLowerBoundRoundsBig(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 13, 40, 1000, 88573} {
+		want := int64(LowerBoundRounds(n))
+		got := LowerBoundRoundsBig(big.NewInt(int64(n)))
+		if got.Int64() != want {
+			t.Fatalf("LowerBoundRoundsBig(%d) = %s, want %d", n, got, want)
+		}
+	}
+	// A size far beyond int range: n = (3^100-1)/2 saturates T = 100
+	// indistinguishable rounds, so the bound is 101.
+	huge := new(big.Int).Exp(big.NewInt(3), big.NewInt(100), nil)
+	huge.Rsh(huge, 1)
+	got := LowerBoundRoundsBig(huge)
+	if got.Int64() != 101 {
+		t.Fatalf("LowerBoundRoundsBig((3^100-1)/2) = %s, want 101", got)
+	}
+}
+
+func TestChainLowerBoundRounds(t *testing.T) {
+	if got := ChainLowerBoundRounds(4, 5); got != 5+3 {
+		t.Fatalf("ChainLowerBoundRounds(4,5) = %d, want 8", got)
+	}
+	if got := ChainLowerBoundRounds(4, -1); got != LowerBoundRounds(4) {
+		t.Fatalf("negative delay should clamp to 0, got %d", got)
+	}
+}
+
+// Property: the bound is monotone in n and increases by at most 1 when n
+// increases by 1.
+func TestBoundMonotoneProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw % 5000)
+		a := MaxIndistinguishableRounds(n)
+		b := MaxIndistinguishableRounds(n + 1)
+		return b >= a && b <= a+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"anondyn/internal/kernel"
+	"anondyn/internal/multigraph"
+)
+
+// Family is the complete one-parameter family of Lemma 5: every network
+// size consistent with a single worst-case leader view, each witnessed by a
+// concrete multigraph. Members[i] has size Sizes[i]; all members produce
+// the identical View.
+type Family struct {
+	// Rounds is the number of completed rounds the shared view covers.
+	Rounds int
+	// Sizes lists the consistent sizes in increasing order.
+	Sizes []int
+	// Members holds one multigraph per size.
+	Members []*multigraph.Multigraph
+	// View is the shared leader view.
+	View multigraph.LeaderView
+}
+
+// IndistinguishableFamily constructs every multigraph consistent with the
+// worst-case view for size n at the requested number of rounds: the
+// solution line s + t·k_{rounds-1} clipped to non-negative configurations.
+// The family's width is the leader's exact residual uncertainty — at the
+// maximum sustainable rounds it always contains at least the sizes n and
+// n+1.
+func IndistinguishableFamily(n, rounds int) (*Family, error) {
+	pair, err := IndistinguishablePair(n, rounds)
+	if err != nil {
+		return nil, err
+	}
+	view, err := pair.M.LeaderView(rounds)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := kernel.SolveCountInterval(view)
+	if err != nil {
+		return nil, err
+	}
+	if iv.Empty || iv.Unbounded {
+		return nil, fmt.Errorf("core: internal: degenerate interval %v for the worst-case view", iv)
+	}
+	fam := &Family{Rounds: rounds, View: view}
+	// n(c0) = total - c0 decreases in c0; enumerate c0 over the feasible
+	// range by scanning for feasibility.
+	for size := iv.MinSize; size <= iv.MaxSize; size++ {
+		// Recover the c0 realizing this size. ForcedConfiguration is
+		// linear in c0, and n = total - c0, so c0 = (n_max - size) + lo
+		// for some base; rather than recompute offsets, scan.
+		found := false
+		for c0 := 0; c0 <= iv.MaxSize+1; c0++ {
+			counts, err := kernel.ForcedConfiguration(view, c0)
+			if err != nil {
+				continue
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total != size {
+				continue
+			}
+			m, err := multigraph.FromHistoryCounts(2, rounds, counts)
+			if err != nil {
+				return nil, err
+			}
+			fam.Sizes = append(fam.Sizes, size)
+			fam.Members = append(fam.Members, m)
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("core: internal: no witness for consistent size %d", size)
+		}
+	}
+	return fam, nil
+}
+
+// Verify checks that every member has its declared size and produces the
+// shared view.
+func (f *Family) Verify() error {
+	if len(f.Sizes) != len(f.Members) {
+		return fmt.Errorf("core: family has %d sizes but %d members", len(f.Sizes), len(f.Members))
+	}
+	want := f.View.Canonical()
+	for i, m := range f.Members {
+		if m.W() != f.Sizes[i] {
+			return fmt.Errorf("core: member %d has size %d, declared %d", i, m.W(), f.Sizes[i])
+		}
+		view, err := m.LeaderView(f.Rounds)
+		if err != nil {
+			return err
+		}
+		if view.Canonical() != want {
+			return fmt.Errorf("core: member %d (size %d) produces a different view", i, f.Sizes[i])
+		}
+	}
+	return nil
+}

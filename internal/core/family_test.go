@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndistinguishableFamilySmall(t *testing.T) {
+	// The Figure 3 regime: n=2, 1 round → sizes {2,3,4}.
+	fam, err := IndistinguishableFamily(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4}
+	if len(fam.Sizes) != len(want) {
+		t.Fatalf("sizes = %v, want %v", fam.Sizes, want)
+	}
+	for i := range want {
+		if fam.Sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", fam.Sizes, want)
+		}
+	}
+}
+
+func TestIndistinguishableFamilyContainsPair(t *testing.T) {
+	for _, n := range []int{1, 4, 13, 40} {
+		rounds := MaxIndistinguishableRounds(n)
+		fam, err := IndistinguishableFamily(n, rounds)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := fam.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		hasN, hasN1 := false, false
+		for _, s := range fam.Sizes {
+			if s == n {
+				hasN = true
+			}
+			if s == n+1 {
+				hasN1 = true
+			}
+		}
+		if !hasN || !hasN1 {
+			t.Fatalf("n=%d: family sizes %v missing the pair", n, fam.Sizes)
+		}
+	}
+}
+
+func TestIndistinguishableFamilyErrors(t *testing.T) {
+	if _, err := IndistinguishableFamily(3, 2); err == nil {
+		t.Fatal("unsustainable rounds should error")
+	}
+	if _, err := IndistinguishableFamily(4, 0); err == nil {
+		t.Fatal("rounds=0 should error")
+	}
+}
+
+func TestFamilyVerifyCatchesCorruption(t *testing.T) {
+	fam, err := IndistinguishableFamily(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam.Sizes[0]++
+	if err := fam.Verify(); err == nil {
+		t.Fatal("Verify accepted a corrupted family")
+	}
+	fam.Sizes = fam.Sizes[1:]
+	if err := fam.Verify(); err == nil {
+		t.Fatal("Verify accepted mismatched lengths")
+	}
+}
+
+// Property: for any n, the maximal-round family is contiguous and its
+// width is at least 2 (the pair) — the leader can never pin the count at
+// the horizon.
+func TestFamilyWidthProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%60) + 1
+		fam, err := IndistinguishableFamily(n, MaxIndistinguishableRounds(n))
+		if err != nil {
+			return false
+		}
+		if len(fam.Sizes) < 2 {
+			return false
+		}
+		for i := 1; i < len(fam.Sizes); i++ {
+			if fam.Sizes[i] != fam.Sizes[i-1]+1 {
+				return false
+			}
+		}
+		return fam.Verify() == nil
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

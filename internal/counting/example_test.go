@@ -1,0 +1,38 @@
+package counting_test
+
+import (
+	"fmt"
+
+	"anondyn/internal/counting"
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+// At persistent distance 1 (a star), the leader counts in one round.
+func ExampleStarCount() {
+	star, err := graph.Star(6, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	count, rounds, err := counting.StarCount(dynet.NewStatic(star), 0, runtime.RunSequential)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(count, rounds)
+	// Output: 6 1
+}
+
+// With unique IDs, the growth rule terminates within the dynamic-diameter
+// order: the first round with no new ID proves the set complete.
+func ExampleIDCount() {
+	count, rounds, err := counting.IDCount(dynet.NewStatic(graph.Path(5)), 0, 20, runtime.RunSequential)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(count, rounds)
+	// Output: 5 5
+}

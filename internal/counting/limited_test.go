@@ -1,0 +1,114 @@
+package counting
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+func TestLimitedIDCountCompletes(t *testing.T) {
+	net := dynet.NewStatic(graph.Complete(10))
+	res, err := LimitedIDCount(net, 0, 1, 200, runtime.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteAt == 0 {
+		t.Fatalf("never completed: %+v", res)
+	}
+}
+
+// leaderLeafStar builds a star centered at node 1 with the leader at leaf
+// node 0: every other leaf's ID must funnel through the center, whose
+// capped broadcast is the bottleneck — the [10]-style bandwidth effect at
+// constant diameter 2.
+func leaderLeafStar(t *testing.T, n int) dynet.Dynamic {
+	t.Helper()
+	star, err := graph.Star(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dynet.NewStatic(star)
+}
+
+func TestLimitedBandwidthSlowerThanUnlimited(t *testing.T) {
+	// At constant diameter, unlimited-bandwidth ID counting finishes in
+	// O(D) rounds; with cap 1 the bottleneck center forwards one ID per
+	// round and completion grows with n.
+	for _, n := range []int{6, 12, 24} {
+		net := leaderLeafStar(t, n)
+		_, unlRounds, err := IDCount(net, 0, 50, runtime.RunSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim, err := LimitedIDCount(net, 0, 1, 50*n, runtime.RunSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim.CompleteAt == 0 {
+			t.Fatalf("n=%d: limited run never completed", n)
+		}
+		if unlRounds > 3 {
+			t.Fatalf("n=%d: unlimited took %d rounds at diameter 2", n, unlRounds)
+		}
+		if lim.CompleteAt <= unlRounds {
+			t.Fatalf("n=%d: limited (%d) not slower than unlimited (%d)", n, lim.CompleteAt, unlRounds)
+		}
+	}
+}
+
+func TestLimitedBandwidthGrowsWithN(t *testing.T) {
+	prev := 0
+	for _, n := range []int{8, 16, 32} {
+		res, err := LimitedIDCount(leaderLeafStar(t, n), 0, 1, 100*n, runtime.RunSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompleteAt == 0 {
+			t.Fatalf("n=%d never completed", n)
+		}
+		if res.CompleteAt <= prev {
+			t.Fatalf("completion time did not grow: n=%d at %d (prev %d)", n, res.CompleteAt, prev)
+		}
+		prev = res.CompleteAt
+	}
+}
+
+func TestLimitedIDCountWideCapMatchesUnlimited(t *testing.T) {
+	// With a cap at least n the protocol degenerates to full flooding.
+	const n = 8
+	net := dynet.NewStatic(graph.Path(n))
+	res, err := LimitedIDCount(net, 0, n, 50, runtime.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completion equals the flood time (eccentricity of node 0 = n-1).
+	if res.CompleteAt != n-1 {
+		t.Fatalf("completion at %d, want %d", res.CompleteAt, n-1)
+	}
+}
+
+func TestLimitedIDCountErrors(t *testing.T) {
+	net := dynet.NewStatic(graph.Path(3))
+	if _, err := LimitedIDCount(net, 9, 1, 10, runtime.RunSequential); err == nil {
+		t.Fatal("bad leader should error")
+	}
+	if _, err := LimitedIDCount(net, 0, 0, 10, runtime.RunSequential); err == nil {
+		t.Fatal("cap 0 should error")
+	}
+	if _, err := LimitedIDCount(net, 0, 1, 0, runtime.RunSequential); err == nil {
+		t.Fatal("maxRounds 0 should error")
+	}
+}
+
+func TestLimitedIDCountBudgetExpires(t *testing.T) {
+	net := dynet.NewStatic(graph.Path(20))
+	res, err := LimitedIDCount(net, 0, 1, 3, runtime.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteAt != 0 || res.Rounds != 3 {
+		t.Fatalf("budget run = %+v", res)
+	}
+}

@@ -1,0 +1,81 @@
+package dynet
+
+import (
+	"testing"
+
+	"anondyn/internal/graph"
+)
+
+func TestFloodDelayingDelaysMaximally(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 20} {
+		fd, err := NewFloodDelaying(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := FloodTime(fd, 0, 0, 5*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != n-1 {
+			t.Fatalf("n=%d: flood took %d rounds, want maximal n-1 = %d", n, ft, n-1)
+		}
+	}
+}
+
+func TestFloodDelayingSnapshotsStayNice(t *testing.T) {
+	fd, err := NewFloodDelaying(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		g := fd.Snapshot(r)
+		if !g.Connected() {
+			t.Fatalf("round %d disconnected", r)
+		}
+		if d := g.Diameter(); d > 3 {
+			t.Fatalf("round %d snapshot diameter %d > 3", r, d)
+		}
+	}
+	if err := VerifyIntervalConnectivity(fd, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloodDelayingOtherSourcesFaster(t *testing.T) {
+	// Floods from non-targeted sources are fast: the uninformed clique
+	// spreads the message internally.
+	fd, err := NewFloodDelaying(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := FloodTime(fd, 5, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft >= 11 {
+		t.Fatalf("flood from untargeted source took %d rounds, expected fast", ft)
+	}
+}
+
+func TestFloodDelayingClampsToClique(t *testing.T) {
+	fd, err := NewFloodDelaying(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := fd.Snapshot(100)
+	if !late.Equal(graph.Complete(4)) {
+		t.Fatalf("late snapshot should be a clique, got %v", late)
+	}
+	if !fd.Snapshot(-1).Equal(fd.Snapshot(0)) {
+		t.Fatal("negative round should clamp to 0")
+	}
+}
+
+func TestFloodDelayingErrors(t *testing.T) {
+	if _, err := NewFloodDelaying(1, 0); err == nil {
+		t.Fatal("n=1 should error")
+	}
+	if _, err := NewFloodDelaying(3, 9); err == nil {
+		t.Fatal("bad source should error")
+	}
+}

@@ -1,0 +1,53 @@
+package dynet_test
+
+import (
+	"fmt"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+)
+
+// A static path has dynamic diameter equal to its static diameter.
+func ExampleDynamicDiameter() {
+	d, err := dynet.DynamicDiameter(dynet.NewStatic(graph.Path(5)), 1, 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(d)
+	// Output: 4
+}
+
+// The flood-delaying adversary stretches a flood to n-1 rounds while every
+// snapshot stays connected with diameter at most 3.
+func ExampleNewFloodDelaying() {
+	fd, err := dynet.NewFloodDelaying(10, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ft, err := dynet.FloodTime(fd, 0, 0, 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ft, fd.Snapshot(3).Diameter())
+	// Output: 9 3
+}
+
+// Persistent-distance verification recognizes 𝒢(PD)_h membership
+// (Definition 4) and reports each node's persistent distance.
+func ExampleVerifyPersistentDistance() {
+	star, err := graph.Star(4, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dist, err := dynet.VerifyPersistentDistance(dynet.NewStatic(star), 0, 5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(dist)
+	// Output: [0 1 1 1]
+}

@@ -1,0 +1,190 @@
+package dynet
+
+import (
+	"fmt"
+
+	"anondyn/internal/graph"
+)
+
+// ConnectivityError reports a round at which a dynamic graph violated the
+// 1-interval connectivity constraint the worst-case adversary must respect.
+type ConnectivityError struct {
+	Round int
+}
+
+// Error implements error.
+func (e *ConnectivityError) Error() string {
+	return fmt.Sprintf("dynet: snapshot at round %d is disconnected", e.Round)
+}
+
+// VerifyIntervalConnectivity checks that every snapshot in rounds [0, rounds)
+// is connected (1-interval connectivity, the constraint on the adversary in
+// the paper's model). It returns a *ConnectivityError naming the first bad
+// round, or nil.
+func VerifyIntervalConnectivity(d Dynamic, rounds int) error {
+	for r := 0; r < rounds; r++ {
+		if !d.Snapshot(r).Connected() {
+			return &ConnectivityError{Round: r}
+		}
+	}
+	return nil
+}
+
+// FloodTime simulates a flood of a message starting from src at round start:
+// src broadcasts in the send phase of round start; every node that has
+// received the message re-broadcasts in every later round. It returns the
+// number of rounds the flood uses: if the last node is informed in the
+// receive phase of round r', the flood took r' - start + 1 rounds. On a
+// static graph this equals the eccentricity of src, and it matches the
+// paper's Figure 1 accounting (a flood started at round 0 whose last
+// delivery happens at round 3 contributes 4 to the dynamic diameter). A
+// flood on a single-node network takes 0 rounds. If the flood has not
+// completed within horizon rounds, an error is returned.
+func FloodTime(d Dynamic, src graph.NodeID, start, horizon int) (int, error) {
+	n := d.N()
+	if src < 0 || int(src) >= n {
+		return 0, fmt.Errorf("dynet: flood source %d out of range [0,%d)", src, n)
+	}
+	if start < 0 {
+		return 0, fmt.Errorf("dynet: negative start round %d", start)
+	}
+	has := make([]bool, n)
+	has[src] = true
+	remaining := n - 1
+	if remaining == 0 {
+		return 0, nil
+	}
+	for r := start; r < start+horizon; r++ {
+		g := d.Snapshot(r)
+		// All current holders broadcast simultaneously; collect new holders
+		// after the receive phase.
+		var newly []graph.NodeID
+		for v := 0; v < n; v++ {
+			if has[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if has[u] {
+					newly = append(newly, graph.NodeID(v))
+					break
+				}
+			}
+		}
+		for _, v := range newly {
+			has[v] = true
+		}
+		remaining -= len(newly)
+		if remaining == 0 {
+			return r - start + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("dynet: flood from %d at round %d incomplete after %d rounds", src, start, horizon)
+}
+
+// DynamicDiameter computes the dynamic diameter D restricted to floods
+// starting in rounds [0, window): the maximum over all nodes v and start
+// rounds of FloodTime(d, v, start, horizon). For cyclic dynamic graphs a
+// window of one period is exact. Returns an error if any flood fails to
+// complete within horizon.
+func DynamicDiameter(d Dynamic, window, horizon int) (int, error) {
+	if window < 1 {
+		return 0, fmt.Errorf("dynet: window must be >= 1, got %d", window)
+	}
+	diam := 0
+	for start := 0; start < window; start++ {
+		for v := 0; v < d.N(); v++ {
+			t, err := FloodTime(d, graph.NodeID(v), start, horizon)
+			if err != nil {
+				return 0, err
+			}
+			if t > diam {
+				diam = t
+			}
+		}
+	}
+	return diam, nil
+}
+
+// PersistentDistanceError reports a node whose distance from the leader
+// changed between rounds, violating G(PD) membership (Definition 3).
+type PersistentDistanceError struct {
+	Node          graph.NodeID
+	Round         int
+	Got, Expected int
+}
+
+// Error implements error.
+func (e *PersistentDistanceError) Error() string {
+	return fmt.Sprintf("dynet: node %d at distance %d from leader at round %d, want persistent distance %d",
+		e.Node, e.Got, e.Round, e.Expected)
+}
+
+// VerifyPersistentDistance checks that over rounds [0, rounds) every node
+// keeps the same distance from the leader (Definition 3/4: membership in
+// G(PD)). On success it returns the per-node persistent distances D(v, v_l);
+// the maximum entry is the h for which the graph is in G(PD)_h. It fails if
+// any node is ever unreachable from the leader or changes distance.
+func VerifyPersistentDistance(d Dynamic, leader graph.NodeID, rounds int) ([]int, error) {
+	n := d.N()
+	if leader < 0 || int(leader) >= n {
+		return nil, fmt.Errorf("dynet: leader %d out of range [0,%d)", leader, n)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("dynet: rounds must be >= 1, got %d", rounds)
+	}
+	want := d.Snapshot(0).BFSDistances(leader)
+	for v, dist := range want {
+		if dist == graph.Unreachable {
+			return nil, &PersistentDistanceError{Node: graph.NodeID(v), Round: 0, Got: dist, Expected: 0}
+		}
+	}
+	for r := 1; r < rounds; r++ {
+		got := d.Snapshot(r).BFSDistances(leader)
+		for v := range got {
+			if got[v] != want[v] {
+				return nil, &PersistentDistanceError{
+					Node: graph.NodeID(v), Round: r, Got: got[v], Expected: want[v],
+				}
+			}
+		}
+	}
+	return want, nil
+}
+
+// PDClass returns the smallest h such that d is in G(PD)_h over the checked
+// rounds: the maximum persistent distance from the leader. It returns an
+// error if d is not a persistent-distance graph over those rounds.
+func PDClass(d Dynamic, leader graph.NodeID, rounds int) (int, error) {
+	dist, err := VerifyPersistentDistance(d, leader, rounds)
+	if err != nil {
+		return 0, err
+	}
+	h := 0
+	for _, dv := range dist {
+		if dv > h {
+			h = dv
+		}
+	}
+	return h, nil
+}
+
+// LayerPartition returns the paper's partition {V_0, V_1, ..., V_h} of a
+// persistent-distance graph: nodes grouped by persistent distance from the
+// leader, in ascending node order within each layer.
+func LayerPartition(d Dynamic, leader graph.NodeID, rounds int) ([][]graph.NodeID, error) {
+	dist, err := VerifyPersistentDistance(d, leader, rounds)
+	if err != nil {
+		return nil, err
+	}
+	h := 0
+	for _, dv := range dist {
+		if dv > h {
+			h = dv
+		}
+	}
+	layers := make([][]graph.NodeID, h+1)
+	for v, dv := range dist {
+		layers[dv] = append(layers[dv], graph.NodeID(v))
+	}
+	return layers, nil
+}

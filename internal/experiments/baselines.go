@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anondyn/internal/core"
+	"anondyn/internal/counting"
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+// BaselineIDs measures the conclusion's comparison: on the very same
+// worst-case 𝒢(PD)₂ topologies, a network whose nodes carry unique IDs
+// counts within the dynamic-diameter order (flood + one silent round),
+// while the anonymous network pays the Ω(log |V|) surcharge. The measured
+// difference IS the cost of anonymity.
+func BaselineIDs() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, n := range []int{4, 13, 40, 121} {
+		wc, err := core.WorstCaseAdversary(n)
+		if err != nil {
+			return nil, err
+		}
+		horizon := wc.Schedule.Horizon()
+		d, err := dynet.DynamicDiameter(wc.Net, horizon, 200)
+		if err != nil {
+			return nil, err
+		}
+		idCount, idRounds, err := counting.IDCount(wc.Net, wc.Layout.Leader, 10*d+10, runtime.RunSequential)
+		if err != nil {
+			return nil, err
+		}
+		anon, err := core.WorstCaseCountRounds(n)
+		if err != nil {
+			return nil, err
+		}
+		gap := anon.Rounds - idRounds
+		series = append(series, fmt.Sprintf("n=%d: IDs %d rounds, anonymous %d (gap %d, D=%d)",
+			n, idRounds, anon.Rounds, gap, d))
+		if idCount != wc.Net.N() {
+			bad = append(bad, fmt.Sprintf("n=%d: ID count %d, want %d", n, idCount, wc.Net.N()))
+		}
+		if idRounds > d+1 {
+			bad = append(bad, fmt.Sprintf("n=%d: ID rounds %d exceed D+1=%d", n, idRounds, d+1))
+		}
+	}
+	// The gap must grow along the sweep (the surcharge is Ω(log n)).
+	measured := strings.Join(series, "; ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "B2", Name: "Baseline: counting with unique IDs [9]",
+		Params:   "same worst-case G(PD)_2 topologies, n ∈ {4,13,40,121}",
+		Paper:    "with IDs, counting costs the order of the dynamic diameter — no anonymity surcharge",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}
+
+// BaselineBandwidth measures the related-work [10] effect: with unique IDs
+// but a one-ID-per-broadcast cap, counting time grows with n even at
+// constant diameter (leader behind a star bottleneck), while unlimited
+// bandwidth finishes in O(D). Bandwidth and anonymity are independent axes
+// of hardness; the paper's bound isolates the anonymity axis by making
+// bandwidth unlimited.
+func BaselineBandwidth() ([]Row, error) {
+	var bad []string
+	var series []string
+	prev := 0
+	for _, n := range []int{8, 16, 32, 64} {
+		star, err := graph.Star(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		net := dynet.NewStatic(star)
+		_, unl, err := counting.IDCount(net, 0, 50, runtime.RunSequential)
+		if err != nil {
+			return nil, err
+		}
+		lim, err := counting.LimitedIDCount(net, 0, 1, 100*n, runtime.RunSequential)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, fmt.Sprintf("n=%d: unlimited %d, cap-1 %d", n, unl, lim.CompleteAt))
+		if lim.CompleteAt == 0 {
+			bad = append(bad, fmt.Sprintf("n=%d: capped run never completed", n))
+			continue
+		}
+		if unl > 3 {
+			bad = append(bad, fmt.Sprintf("n=%d: unlimited took %d rounds at diameter 2", n, unl))
+		}
+		if lim.CompleteAt <= prev {
+			bad = append(bad, fmt.Sprintf("n=%d: capped time %d did not grow", n, lim.CompleteAt))
+		}
+		prev = lim.CompleteAt
+	}
+	measured := strings.Join(series, "; ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "B3", Name: "Baseline: limited bandwidth with IDs [10]",
+		Params:   "leader-leaf star, cap 1 ID/broadcast, n ∈ {8,16,32,64}",
+		Paper:    "with limited bandwidth counting grows with n even at D=2; the paper removes this axis",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}
+
+// BaselineUpperBound contrasts the related-work counting style ([15]:
+// degree-bounded upper bounds) with this paper's exact machinery: the
+// baseline is sound (never below the true size) but loose, while the
+// leader-state counter is exact.
+func BaselineUpperBound() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, outer := range []int{5, 20, 80} {
+		net, _, v2 := restrictedPD2(2, outer)
+		truth := 1 + 2 + len(v2)
+		maxDeg := 0
+		for r := 0; r < 8; r++ {
+			g := net.Snapshot(r)
+			for v := 0; v < net.N(); v++ {
+				if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+					maxDeg = d
+				}
+			}
+		}
+		res, err := counting.UpperBoundCount(net, 0, maxDeg, 8, runtime.RunSequential)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, fmt.Sprintf("|V|=%d: bound %d (depth %d, d=%d)", truth, res.Bound, res.Depth, maxDeg))
+		if res.Bound < truth {
+			bad = append(bad, fmt.Sprintf("unsound at |V|=%d: bound %d", truth, res.Bound))
+		}
+		if res.Bound == truth {
+			bad = append(bad, fmt.Sprintf("|V|=%d: expected looseness, got exact", truth))
+		}
+	}
+	measured := strings.Join(series, "; ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "B1", Name: "Baseline: degree-bounded upper-bound counting [15]",
+		Params:   "restricted G(PD)_2, |V2| ∈ {5,20,80}",
+		Paper:    "with a known degree bound the leader computes an upper bound on |V| (not exact)",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every figure and theorem of the paper as
+// a paper-claim-vs-measured-value row. cmd/experiments prints the table;
+// EXPERIMENTS.md records a frozen copy; the repository benchmarks reuse the
+// same entry points.
+//
+// The paper is a theory paper with no measurement tables, so "reproducing
+// the evaluation" means executing its proofs: every row below either
+// machine-checks a stated identity (kernels, dimensions, sums, the figures'
+// captions) or measures the round complexity of an actual execution against
+// the proved bound.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one reproduced artifact.
+type Row struct {
+	// ID is the experiment identifier from DESIGN.md (F1..F4, L2..L4,
+	// T1, T2, C1, D1, G1, A1, A2).
+	ID string
+	// Name describes the artifact.
+	Name string
+	// Params summarizes the workload parameters.
+	Params string
+	// Paper states the paper's claim.
+	Paper string
+	// Measured states what the reproduction observed.
+	Measured string
+	// Match reports whether the observation agrees with the claim.
+	Match bool
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID string
+	Fn func() ([]Row, error)
+}
+
+// All lists every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{ID: "F1", Fn: Figure1},
+		{ID: "F2", Fn: Figure2},
+		{ID: "F3", Fn: Figure3},
+		{ID: "F4", Fn: Figure4},
+		{ID: "L2", Fn: Lemma2},
+		{ID: "L3", Fn: Lemma3},
+		{ID: "L4", Fn: Lemma4},
+		{ID: "T1", Fn: Theorem1},
+		{ID: "T2", Fn: Theorem2},
+		{ID: "C1", Fn: Corollary1},
+		{ID: "C2", Fn: Corollary1EndToEnd},
+		{ID: "D1", Fn: Discussion},
+		{ID: "G1", Fn: Gap},
+		{ID: "A1", Fn: AblationK3},
+		{ID: "A2", Fn: AblationStar},
+		{ID: "A3", Fn: AblationAdversary},
+		{ID: "B1", Fn: BaselineUpperBound},
+		{ID: "B2", Fn: BaselineIDs},
+		{ID: "B3", Fn: BaselineBandwidth},
+		{ID: "S1", Fn: AverageCase},
+		{ID: "E1", Fn: ExtensionAnonymousRelays},
+		{ID: "S2", Fn: ConsciousVsUnconscious},
+		{ID: "N1", Fn: NamingImpossibility},
+	}
+}
+
+// RunAll executes every experiment and returns the concatenated rows.
+func RunAll() ([]Row, error) {
+	var rows []Row
+	for _, r := range All() {
+		got, err := r.Fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", r.ID, err)
+		}
+		rows = append(rows, got...)
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows as a GitHub-flavored markdown table.
+func FormatTable(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("| ID | Artifact | Parameters | Paper | Measured | Match |\n")
+	sb.WriteString("|----|----------|------------|-------|----------|-------|\n")
+	for _, r := range rows {
+		mark := "yes"
+		if !r.Match {
+			mark = "NO"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			r.ID, r.Name, r.Params, r.Paper, r.Measured, mark)
+	}
+	return sb.String()
+}
+
+// AllMatch reports whether every row matched its claim.
+func AllMatch(rows []Row) bool {
+	for _, r := range rows {
+		if !r.Match {
+			return false
+		}
+	}
+	return true
+}

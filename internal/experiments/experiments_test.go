@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryExperimentMatches(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rows, err := r.Fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range rows {
+				if row.ID != r.ID {
+					t.Errorf("row ID %q under runner %q", row.ID, r.ID)
+				}
+				if !row.Match {
+					t.Errorf("MISMATCH: %s — paper %q, measured %q", row.Name, row.Paper, row.Measured)
+				}
+				for _, field := range []string{row.Name, row.Params, row.Paper, row.Measured} {
+					if field == "" {
+						t.Errorf("row %s has an empty field", row.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllAndFormat(t *testing.T) {
+	rows, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < len(All()) {
+		t.Fatalf("only %d rows for %d experiments", len(rows), len(All()))
+	}
+	if !AllMatch(rows) {
+		t.Fatal("not all rows matched")
+	}
+	table := FormatTable(rows)
+	if !strings.Contains(table, "| ID |") {
+		t.Fatal("table missing header")
+	}
+	if strings.Contains(table, "| NO |") {
+		t.Fatal("table contains mismatches")
+	}
+	// One line per row plus two header lines.
+	if got := strings.Count(table, "\n"); got != len(rows)+2 {
+		t.Fatalf("table has %d lines, want %d", got, len(rows)+2)
+	}
+}
+
+func TestFormatTableMarksMismatch(t *testing.T) {
+	rows := []Row{{ID: "X", Name: "x", Params: "p", Paper: "a", Measured: "b", Match: false}}
+	if !strings.Contains(FormatTable(rows), "| NO |") {
+		t.Fatal("mismatch not marked")
+	}
+	if AllMatch(rows) {
+		t.Fatal("AllMatch true on mismatch")
+	}
+}

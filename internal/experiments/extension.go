@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anondyn/internal/core"
+)
+
+// ExtensionAnonymousRelays executes the upper-bound converse of Lemma 1's
+// remark: the lemma drops the V₁ identifiers to argue anonymity can only
+// hurt; this experiment shows that with full-information relays the leader
+// THREADS the anonymous relay streams by content (deliberately taking the
+// wrong branch at every symmetric point) and still counts at exactly the
+// labeled bound. The Ω(log |V|) cost is charged by the anonymity of the
+// counted nodes, not of the relay layer.
+func ExtensionAnonymousRelays() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, n := range []int{1, 4, 13, 40, 121} {
+		pair, err := core.WorstCasePair(n)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := pair.Extend(pair.Rounds + 2)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.AnonymousCountRounds(ext.M, ext.M.Horizon())
+		if err != nil {
+			return nil, err
+		}
+		labeled, err := core.CountOnMultigraph(ext.M, ext.M.Horizon())
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, fmt.Sprintf("n=%d: anonymous %d = labeled %d rounds", n, res.Rounds, labeled.Rounds))
+		if res.Count != n || res.Rounds != labeled.Rounds {
+			bad = append(bad, fmt.Sprintf("n=%d: anonymous (%d, %d) vs labeled (%d, %d)",
+				n, res.Count, res.Rounds, labeled.Count, labeled.Rounds))
+		}
+	}
+	measured := strings.Join(series, "; ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "E1", Name: "Extension: anonymous relays cost nothing extra",
+		Params:   "stream threading with adversarial tie-breaking, n ∈ {1,4,13,40,121}",
+		Paper:    "(beyond the paper) Lemma 1's ID assumption is WLOG on the upper-bound side",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"anondyn/internal/kernel"
+)
+
+// Lemma2 verifies dim ker(M_r) = 1 by exact elimination for r = 0..3.
+func Lemma2() ([]Row, error) {
+	maxR := 3
+	ok := true
+	detail := ""
+	for r := 0; r <= maxR; r++ {
+		m, err := kernel.Matrix(r, 2)
+		if err != nil {
+			return nil, err
+		}
+		dim := len(m.KernelBasis())
+		fullRank := m.Rank() == m.Rows()
+		if dim != 1 || !fullRank {
+			ok = false
+		}
+		detail += fmt.Sprintf("r=%d:dim=%d ", r, dim)
+	}
+	return []Row{{
+		ID: "L2", Name: "Lemma 2: kernel dimension of M_r",
+		Params:   fmt.Sprintf("exact rational elimination, r=0..%d", maxR),
+		Paper:    "rows independent; dim ker(M_r) = 1",
+		Measured: detail,
+		Match:    ok,
+	}}, nil
+}
+
+// Lemma3 verifies the kernel recursion k_r = [k_{r-1} k_{r-1} -k_{r-1}]ᵀ and
+// that the closed form spans the eliminated kernel.
+func Lemma3() ([]Row, error) {
+	ok := true
+	for r := 1; r <= 6; r++ {
+		prev := kernel.ClosedFormKernel(r - 1)
+		want := prev.Append(prev).Append(prev.Neg())
+		if !kernel.ClosedFormKernel(r).Equal(want) {
+			ok = false
+		}
+	}
+	elimOK := true
+	for r := 0; r <= 3; r++ {
+		m, err := kernel.Matrix(r, 2)
+		if err != nil {
+			return nil, err
+		}
+		got := m.KernelBasis()[0]
+		want := kernel.ClosedFormKernel(r)
+		if !got.Equal(want) && !got.Equal(want.Neg()) {
+			elimOK = false
+		}
+	}
+	nullOK := true
+	for r := 0; r <= 5; r++ {
+		m, err := kernel.Matrix(r, 2)
+		if err != nil {
+			return nil, err
+		}
+		prod, err := m.MulVec(kernel.ClosedFormKernel(r))
+		if err != nil {
+			return nil, err
+		}
+		if !prod.IsZero() {
+			nullOK = false
+		}
+	}
+	// Matrix-free verification beyond dense reach: M_10 has ~177k columns.
+	deepOK := true
+	for r := 8; r <= 10; r++ {
+		prod, err := kernel.StructuredMulVec(r, 2, kernel.ClosedFormKernel(r))
+		if err != nil {
+			return nil, err
+		}
+		if !prod.IsZero() {
+			deepOK = false
+		}
+	}
+	return []Row{{
+		ID: "L3", Name: "Lemma 3: recursive kernel structure",
+		Params:   "recursion r=1..6; elimination cross-check r=0..3; M_r k_r = 0 dense to r=5, matrix-free to r=10",
+		Paper:    "k_r = [k_{r-1} k_{r-1} -k_{r-1}]ᵀ spans ker(M_r)",
+		Measured: fmt.Sprintf("recursion=%v, matches elimination=%v, in nullspace=%v, deep (r≤10)=%v", ok, elimOK, nullOK, deepOK),
+		Match:    ok && elimOK && nullOK && deepOK,
+	}}, nil
+}
+
+// Lemma4 verifies Σk_r = 1 and Σ⁻k_r = ½(3^{r+1}+1) − 1 against the
+// explicit vectors (r ≤ 8) and in closed form beyond.
+func Lemma4() ([]Row, error) {
+	ok := true
+	for r := 0; r <= 8; r++ {
+		k := kernel.ClosedFormKernel(r)
+		if k.Sum().Cmp(big.NewInt(1)) != 0 {
+			ok = false
+		}
+		if k.SumNegative().Cmp(kernel.KernelSumNegative(r)) != 0 {
+			ok = false
+		}
+		if k.SumPositive().Cmp(kernel.KernelSumPositive(r)) != 0 {
+			ok = false
+		}
+	}
+	// The paper's printed example: Σ⁺k_1 = 5, Σ⁻k_1 = 4.
+	example := kernel.KernelSumPositive(1).Int64() == 5 && kernel.KernelSumNegative(1).Int64() == 4
+	return []Row{{
+		ID: "L4", Name: "Lemma 4: kernel sums",
+		Params:   "explicit vectors r=0..8; closed forms",
+		Paper:    "Σk_r = 1; Σ⁻k_r = ½(3^{r+1}+1)−1; example Σ⁺k_1=5, Σ⁻k_1=4",
+		Measured: fmt.Sprintf("all sums match=%v, r=1 example=%v", ok, example),
+		Match:    ok && example,
+	}}, nil
+}

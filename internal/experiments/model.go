@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anondyn/internal/dynet"
+)
+
+// AblationAdversary demonstrates the model fact the paper's Section 3
+// builds on: the dynamic diameter D is a property of the adversary, not of
+// the snapshots. The flood-delaying adversary keeps every snapshot at
+// diameter ≤ 3 yet stretches a flood to n−1 rounds.
+func AblationAdversary() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, n := range []int{4, 10, 25, 50} {
+		fd, err := dynet.NewFloodDelaying(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := dynet.FloodTime(fd, 0, 0, 5*n)
+		if err != nil {
+			return nil, err
+		}
+		maxDiam := 0
+		for r := 0; r < 2*n; r++ {
+			if d := fd.Snapshot(r).Diameter(); d > maxDiam {
+				maxDiam = d
+			}
+		}
+		series = append(series, fmt.Sprintf("n=%d: flood %d, snapshot diam ≤ %d", n, ft, maxDiam))
+		if ft != n-1 || maxDiam > 3 {
+			bad = append(bad, fmt.Sprintf("n=%d: flood %d, diam %d", n, ft, maxDiam))
+		}
+	}
+	measured := strings.Join(series, "; ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "A3", Name: "Ablation: D is adversary-controlled",
+		Params:   "flood-delaying adversary, n ∈ {4,10,25,50}",
+		Paper:    "the dynamic diameter reflects the adversary, not snapshot diameters",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anondyn/internal/core"
+)
+
+// theorem1Sizes is the sweep used by Theorem1 and Theorem2: a mix of
+// kernel-threshold sizes (3^t-1)/2, their neighbors, and mid-range values.
+func theorem1Sizes() []int {
+	return []int{1, 2, 3, 4, 5, 12, 13, 14, 27, 39, 40, 41, 100, 121, 364, 1000, 3280}
+}
+
+// Theorem1 sweeps network sizes, constructs the adversarial pair for each,
+// verifies indistinguishability through exactly ⌊log₃(2n+1)⌋ completed
+// rounds, and verifies that the extended pair diverges exactly one round
+// later.
+func Theorem1() ([]Row, error) {
+	var bad []string
+	for _, n := range theorem1Sizes() {
+		want := core.MaxIndistinguishableRounds(n)
+		pair, err := core.WorstCasePair(n)
+		if err != nil {
+			return nil, err
+		}
+		if pair.Rounds != want {
+			bad = append(bad, fmt.Sprintf("n=%d sustained %d", n, pair.Rounds))
+			continue
+		}
+		if err := pair.Verify(); err != nil {
+			bad = append(bad, fmt.Sprintf("n=%d verify: %v", n, err))
+			continue
+		}
+		ext, err := pair.Extend(2)
+		if err != nil {
+			return nil, err
+		}
+		div, found := ext.FirstDivergence()
+		if !found || div != want+1 {
+			bad = append(bad, fmt.Sprintf("n=%d diverged at %d", n, div))
+		}
+	}
+	measured := "all sizes: indistinguishable exactly ⌊log₃(2n+1)⌋ rounds, diverge next round"
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "T1", Name: "Theorem 1: indistinguishability horizon",
+		Params:   fmt.Sprintf("n ∈ %v", theorem1Sizes()),
+		Paper:    "no algorithm distinguishes |W|=n from n+1 before round ⌊log₃(2n+1)⌋",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}
+
+// Theorem2 measures the leader-state counter on worst-case schedules: the
+// observed termination round must equal the exact bound for every size —
+// showing simultaneously that the bound is unbeatable and achievable.
+func Theorem2() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, n := range theorem1Sizes() {
+		if n > 1100 {
+			// The counter enumerates 3^rounds leaf states; cap the sweep
+			// where the dense walk stays sub-second.
+			continue
+		}
+		res, err := core.WorstCaseCountRounds(n)
+		if err != nil {
+			return nil, err
+		}
+		want := core.LowerBoundRounds(n)
+		series = append(series, fmt.Sprintf("n=%d:%d", n, res.Rounds))
+		if res.Rounds != want || res.Count != n {
+			bad = append(bad, fmt.Sprintf("n=%d got (%d rounds, count %d) want %d rounds", n, res.Rounds, res.Count, want))
+		}
+	}
+	measured := "rounds(n) = ⌊log₃(2n+1)⌋+1 exactly: " + strings.Join(series, " ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "T2", Name: "Theorem 2: counting on G(PD)_2 is Ω(log |V|)",
+		Params:   "leader-state counter vs worst-case adversary",
+		Paper:    "any counting algorithm needs Ω(log |V|) rounds",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}
+
+// Corollary1 measures the chain composition: counting rounds equal
+// delay + ⌊log₃(2n+1)⌋ + 1 = (D - 2) + Ω(log n) for every grid point.
+func Corollary1() ([]Row, error) {
+	var bad []string
+	var series []string
+	for _, n := range []int{4, 13, 40, 121} {
+		for _, delay := range []int{0, 1, 3, 8} {
+			res, err := core.ChainCountRounds(n, delay)
+			if err != nil {
+				return nil, err
+			}
+			want := core.ChainLowerBoundRounds(n, delay)
+			series = append(series, fmt.Sprintf("(n=%d,delay=%d):%d", n, delay, res.Rounds))
+			if res.Rounds != want || res.Count != n {
+				bad = append(bad, fmt.Sprintf("n=%d delay=%d got %d want %d", n, delay, res.Rounds, want))
+			}
+		}
+	}
+	measured := strings.Join(series, " ")
+	if len(bad) > 0 {
+		measured = "FAILURES: " + strings.Join(bad, "; ")
+	}
+	return []Row{{
+		ID: "C1", Name: "Corollary 1: D + Ω(log |V|) on chain compositions",
+		Params:   "n ∈ {4,13,40,121} × delay ∈ {0,1,3,8}",
+		Paper:    "counting needs at least D + Ω(log |V|) rounds",
+		Measured: measured,
+		Match:    len(bad) == 0,
+	}}, nil
+}

@@ -1,0 +1,235 @@
+package figures
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/kernel"
+	"anondyn/internal/linalg"
+	"anondyn/internal/multigraph"
+)
+
+func TestFigure1Properties(t *testing.T) {
+	f, err := NewFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caption's claims, machine-checked.
+	// (1) The graph is in G(PD)_2 with the leader at the center.
+	h, err := dynet.PDClass(f.Net, f.Leader, 3*f.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 {
+		t.Fatalf("PD class = %d, want 2", h)
+	}
+	// (2) 1-interval connectivity.
+	if err := dynet.VerifyIntervalConnectivity(f.Net, 3*f.Period); err != nil {
+		t.Fatal(err)
+	}
+	// (3) Dynamic diameter D = 4.
+	d, err := dynet.DynamicDiameter(f.Net, f.Period, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Fatalf("D = %d, want 4", d)
+	}
+	// (4) A flood from v0 at round 0 reaches v3 at round 3 and no earlier:
+	// the flood takes 4 rounds in total.
+	ft, err := dynet.FloodTime(f.Net, f.V0, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != 4 {
+		t.Fatalf("flood from v0 took %d rounds, want 4", ft)
+	}
+}
+
+func TestFigure1FloodTrace(t *testing.T) {
+	// Trace the flood wavefront: v3 must be uninformed through round 2
+	// and informed at round 3. We reconstruct the wavefront manually.
+	f, err := NewFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{int(f.V0): true}
+	informedAt := -1
+	for r := 0; r < 8 && informedAt == -1; r++ {
+		g := f.Net.Snapshot(r)
+		var newly []int
+		for v := 0; v < g.N(); v++ {
+			if has[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if has[int(u)] {
+					newly = append(newly, v)
+					break
+				}
+			}
+		}
+		for _, v := range newly {
+			has[v] = true
+			if v == int(f.V3) {
+				informedAt = r
+			}
+		}
+	}
+	if informedAt != 3 {
+		t.Fatalf("v3 informed at round %d, want 3", informedAt)
+	}
+}
+
+func TestFigure2Properties(t *testing.T) {
+	f, err := NewFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node v carries edge label set {1,2,3} (the caption's example).
+	s, err := f.M.LabelsAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != multigraph.SetOf(1, 2, 3) {
+		t.Fatalf("L(v) = %v, want {1,2,3}", s)
+	}
+	// Transformed graph: leader + 3 relays + 3 W-nodes, PD_2, and the
+	// relay for label j is adjacent exactly to the nodes whose label set
+	// contains j.
+	if f.Net.N() != 7 {
+		t.Fatalf("N = %d, want 7", f.Net.N())
+	}
+	g := f.Net.Snapshot(0)
+	for j := 1; j <= 3; j++ {
+		relay := f.Layout.V1[j-1]
+		for w := 0; w < f.M.W(); w++ {
+			ls, err := f.M.LabelsAt(w, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.HasEdge(relay, f.Layout.V2[w]); got != ls.Has(j) {
+				t.Fatalf("relay %d vs node %d: edge=%v, label=%v", j, w, got, ls.Has(j))
+			}
+		}
+	}
+	// Round-trip through FromPD2 recovers the multigraph.
+	back, err := multigraph.FromPD2(f.Net, f.Layout.Leader, f.Layout.V1, f.Layout.V2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := back.LeaderView(1)
+	vb, _ := f.M.LeaderView(1)
+	if !va.Equal(vb) {
+		t.Fatal("transformation round trip lost information")
+	}
+}
+
+func TestFigure3Properties(t *testing.T) {
+	f, err := NewFigure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M.W() != 2 || f.MPrime.W() != 4 {
+		t.Fatalf("sizes = %d, %d; want 2, 4", f.M.W(), f.MPrime.W())
+	}
+	va, err := f.M.LeaderView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := f.MPrime.LeaderView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !va.Equal(vb) {
+		t.Fatal("Figure 3 pair distinguishable at round 0")
+	}
+	// The relationship is s' = s + 2k_0.
+	ca, _ := f.M.HistoryCounts(1)
+	cb, _ := f.MPrime.HistoryCounts(1)
+	k0 := kernel.ClosedFormKernel(0)
+	for i := range ca {
+		if int64(cb[i]-ca[i]) != 2*k0[i].Int64() {
+			t.Fatalf("s' - s != 2k_0 at %d", i)
+		}
+	}
+	// Both satisfy m_0 = M_0 s with m_0 = [2 2] (paper Equation 3).
+	m0, err := kernel.Matrix(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := kernel.TrueSolutionVector(f.M, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := m0.MulVec(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(linalg.VecFromInts(2, 2)) {
+		t.Fatalf("m_0 = %s, want [2 2]", prod)
+	}
+}
+
+func TestFigure4Properties(t *testing.T) {
+	f, err := NewFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M.W() != 4 || f.MPrime.W() != 5 {
+		t.Fatalf("sizes = %d, %d; want 4, 5", f.M.W(), f.MPrime.W())
+	}
+	va, err := f.M.LeaderView(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := f.MPrime.LeaderView(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !va.Equal(vb) {
+		t.Fatal("Figure 4 pair distinguishable within 2 rounds")
+	}
+	// s' - s = k_1 exactly.
+	ca, _ := f.M.HistoryCounts(2)
+	cb, _ := f.MPrime.HistoryCounts(2)
+	k1 := kernel.ClosedFormKernel(1)
+	for i := range ca {
+		if int64(cb[i]-ca[i]) != k1[i].Int64() {
+			t.Fatalf("s' - s != k_1 at history %d", i)
+		}
+	}
+	// The paper's claim m_1 = M_1 s_1 = M_1 s_1' holds.
+	m1, err := kernel.Matrix(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := kernel.TrueSolutionVector(f.M, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := kernel.TrueSolutionVector(f.MPrime, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := m1.MulVec(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m1.MulVec(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa.Equal(pb) {
+		t.Fatal("M_1 s_1 != M_1 s_1'")
+	}
+	// The count interval after 2 rounds covers both 4 and 5.
+	iv, err := kernel.SolveCountInterval(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.MinSize > 4 || iv.MaxSize < 5 {
+		t.Fatalf("interval %v excludes {4,5}", iv)
+	}
+}

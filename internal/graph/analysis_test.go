@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := Path(5)
+	dist := g.BFSDistances(0)
+	for v, d := range dist {
+		if d != v {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, v)
+		}
+	}
+}
+
+func TestBFSDistancesDisconnected(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1)
+	dist := g.BFSDistances(0)
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Fatalf("disconnected nodes should be Unreachable, got %v", dist)
+	}
+}
+
+func TestBFSDistancesBadSource(t *testing.T) {
+	g := New(3)
+	dist := g.BFSDistances(7)
+	for _, d := range dist {
+		if d != Unreachable {
+			t.Fatalf("out-of-range source should leave all Unreachable, got %v", dist)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := Path(4)
+	if d := g.Distance(0, 3); d != 3 {
+		t.Fatalf("Distance(0,3) = %d, want 3", d)
+	}
+	if d := g.Distance(0, 9); d != Unreachable {
+		t.Fatalf("Distance to out-of-range = %d, want Unreachable", d)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"path", Path(5), true},
+		{"single", New(1), true},
+		{"two isolated", New(2), false},
+		{"complete", Complete(4), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Connected(); got != tc.want {
+				t.Fatalf("Connected() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := Path(5)
+	if ecc := g.Eccentricity(0); ecc != 4 {
+		t.Fatalf("Eccentricity(0) = %d, want 4", ecc)
+	}
+	if ecc := g.Eccentricity(2); ecc != 2 {
+		t.Fatalf("Eccentricity(2) = %d, want 2", ecc)
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("Diameter() = %d, want 4", d)
+	}
+	disc := New(3)
+	if d := disc.Diameter(); d != Unreachable {
+		t.Fatalf("Diameter of disconnected = %d, want Unreachable", d)
+	}
+}
+
+func TestDistancePartition(t *testing.T) {
+	// Star: leader at center, all others at distance 1 — a PD_1 topology.
+	g, err := Star(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := g.DistancePartition(0)
+	if len(part[0]) != 1 || part[0][0] != 0 {
+		t.Fatalf("layer 0 = %v", part[0])
+	}
+	if len(part[1]) != 4 {
+		t.Fatalf("layer 1 = %v, want 4 nodes", part[1])
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3 has two shortest paths 0->3.
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if got := g.CountPaths(0, 3); got != 2 {
+		t.Fatalf("CountPaths(0,3) = %d, want 2", got)
+	}
+	if got := g.CountPaths(0, 0); got != 1 {
+		t.Fatalf("CountPaths(0,0) = %d, want 1", got)
+	}
+}
+
+func TestCountPathsUnreachable(t *testing.T) {
+	g := New(3)
+	_ = g.AddEdge(0, 1)
+	if got := g.CountPaths(0, 2); got != 0 {
+		t.Fatalf("CountPaths to unreachable = %d, want 0", got)
+	}
+	if got := g.CountPaths(-1, 2); got != 0 {
+		t.Fatalf("CountPaths bad source = %d, want 0", got)
+	}
+}
+
+func TestStarGenerators(t *testing.T) {
+	g, err := Star(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(2) != 5 {
+		t.Fatalf("center degree = %d, want 5", g.Degree(2))
+	}
+	for v := 0; v < 6; v++ {
+		if v != 2 && g.Degree(NodeID(v)) != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", v, g.Degree(NodeID(v)))
+		}
+	}
+	if _, err := Star(3, 9); err == nil {
+		t.Fatal("Star with out-of-range center should error")
+	}
+	empty, err := Star(0, 0)
+	if err != nil || empty.N() != 0 {
+		t.Fatalf("Star(0,0) = (%v, %v)", empty, err)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(NodeID(v)) != 2 {
+			t.Fatalf("cycle node %d degree = %d, want 2", v, g.Degree(NodeID(v)))
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("Cycle(2) should error")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 {
+		t.Fatalf("K5 has %d edges, want 10", g.M())
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("K5 diameter = %d, want 1", g.Diameter())
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(30) + 1
+		g := RandomConnected(n, rng.Float64()*0.5, rng)
+		if !g.Connected() {
+			t.Fatalf("trial %d: RandomConnected(%d) disconnected", trial, n)
+		}
+	}
+}
+
+func TestLayeredDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{3, 5, 2}
+	g, layerOf, err := Layered(sizes, true, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFSDistances(0)
+	for v := 0; v < g.N(); v++ {
+		if dist[v] != layerOf[v] {
+			t.Fatalf("node %d at distance %d, want layer %d", v, dist[v], layerOf[v])
+		}
+	}
+}
+
+func TestLayeredBadSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := Layered([]int{2, 0}, false, 0, rng); err == nil {
+		t.Fatal("Layered with zero layer size should error")
+	}
+}
+
+// Property: in Layered graphs, every node's BFS distance from the leader
+// equals its layer, for arbitrary seeds and shapes. This is the static
+// precondition for persistent-distance dynamic graphs.
+func TestLayeredDistanceProperty(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{int(a%5) + 1, int(b%5) + 1}
+		g, layerOf, err := Layered(sizes, true, rng.Float64(), rng)
+		if err != nil {
+			return false
+		}
+		dist := g.BFSDistances(0)
+		for v := 0; v < g.N(); v++ {
+			if dist[v] != layerOf[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 1}})
+	dot := g.DOT("fig 1", 0)
+	for _, want := range []string{"graph fig_1 {", "n0 [shape=doublecircle];", "n1 [shape=circle];", "n0 -- n1;"} {
+		if !contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if d := g.DOT("", 0); !contains(d, "graph G {") {
+		t.Fatalf("empty name should render as G:\n%s", d)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Property: distance is symmetric on undirected graphs, and satisfies the
+// triangle inequality through any intermediate node.
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%10) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 0.25, rng)
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		w := NodeID(rng.Intn(n))
+		duv := g.Distance(u, v)
+		if g.Distance(v, u) != duv {
+			return false
+		}
+		return duv <= g.Distance(u, w)+g.Distance(w, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

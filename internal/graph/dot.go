@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. The name parameter becomes
+// the graph name; highlight marks a node (typically the leader) with a
+// doublecircle shape. Useful for debugging adversary constructions.
+func (g *Graph) DOT(name string, highlight NodeID) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", sanitizeDOTName(name))
+	for v := 0; v < g.n; v++ {
+		shape := "circle"
+		if NodeID(v) == highlight {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=%s];\n", v, shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d;\n", e.U, e.V)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sanitizeDOTName(name string) string {
+	if name == "" {
+		return "G"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+	if g.M() != 0 {
+		t.Fatalf("M() = %d, want 0", g.M())
+	}
+}
+
+func TestNewZeroNodes(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should be connected by convention")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} not present in both directions")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(0, 1); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d after duplicate adds, want 1", g.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name string
+		u, v NodeID
+	}{
+		{"self-loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddEdge(tc.u, tc.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tc.u, tc.v)
+			}
+		})
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge survived removal")
+	}
+	// Removing an absent edge is a no-op.
+	if err := g.RemoveEdge(0, 2); err != nil {
+		t.Fatalf("removing absent edge: %v", err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	for _, v := range []NodeID{4, 2, 3, 1} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(0)
+	want := []NodeID{1, 2, 3, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", nb, want)
+	}
+	for i := range nb {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	g := New(2)
+	if nb := g.Neighbors(5); nb != nil {
+		t.Fatalf("Neighbors(5) = %v, want nil", nb)
+	}
+	if d := g.Degree(-1); d != 0 {
+		t.Fatalf("Degree(-1) = %d, want 0", d)
+	}
+}
+
+func TestEdgesCanonicalOrder(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(3, 1)
+	_ = g.AddEdge(2, 0)
+	_ = g.AddEdge(1, 0)
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range edges {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3)
+	_ = g.AddEdge(0, 1)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	_ = c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	b := MustFromEdges(3, []Edge{{1, 2}, {0, 1}})
+	c := MustFromEdges(3, []Edge{{0, 1}})
+	d := MustFromEdges(4, []Edge{{0, 1}, {1, 2}})
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should not equal c (different edges)")
+	}
+	if a.Equal(d) {
+		t.Fatal("a should not equal d (different node count)")
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	e := Edge{U: 5, V: 2}
+	c := e.Canonical()
+	if c.U != 2 || c.V != 5 {
+		t.Fatalf("Canonical() = %v", c)
+	}
+	if e.String() != "{2,5}" {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestFromEdgesError(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("FromEdges with bad edge should error")
+	}
+}
+
+func TestMustFromEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromEdges did not panic on invalid edge")
+		}
+	}()
+	MustFromEdges(2, []Edge{{0, 0}})
+}
+
+func TestString(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	want := "n=3 edges=[{0,1} {1,2}]"
+	if got := g.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: for any random graph, M() equals half the degree sum
+// (handshake lemma) and every listed edge is reported by HasEdge.
+func TestHandshakeLemmaProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 0.3, rng)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		if sum != 2*g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is always Equal and mutating the clone never changes
+// the original edge count.
+func TestClonePropertyQuick(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 0.2, rng)
+		c := g.Clone()
+		if !g.Equal(c) {
+			return false
+		}
+		before := g.M()
+		// Remove every edge from the clone.
+		for _, e := range c.Edges() {
+			_ = c.RemoveEdge(e.U, e.V)
+		}
+		return g.M() == before && c.M() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegreeSequence(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	got := g.DegreeSequence()
+	want := []int{3, 2, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DegreeSequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if d := New(0).MaxDegree(); d != 0 {
+		t.Fatalf("empty MaxDegree = %d", d)
+	}
+	star, err := Star(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := star.MaxDegree(); d != 5 {
+		t.Fatalf("star MaxDegree = %d, want 5", d)
+	}
+}
+
+func TestIsRegular(t *testing.T) {
+	if d, ok := Complete(4).IsRegular(); !ok || d != 3 {
+		t.Fatalf("K4 regular = (%d, %v)", d, ok)
+	}
+	cyc, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := cyc.IsRegular(); !ok || d != 2 {
+		t.Fatalf("C5 regular = (%d, %v)", d, ok)
+	}
+	if _, ok := Path(4).IsRegular(); ok {
+		t.Fatal("path should not be regular")
+	}
+	if d, ok := New(0).IsRegular(); !ok || d != 0 {
+		t.Fatal("empty graph should be 0-regular")
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	// A path is bipartite with alternating classes.
+	a, b, ok := Path(5).Bipartition()
+	if !ok {
+		t.Fatal("path should be bipartite")
+	}
+	if len(a)+len(b) != 5 {
+		t.Fatalf("classes %v / %v do not cover", a, b)
+	}
+	// Odd cycle is not bipartite.
+	c5, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c5.Bipartition(); ok {
+		t.Fatal("C5 should not be bipartite")
+	}
+	// Even cycle is.
+	c6, err := Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c6.Bipartition(); !ok {
+		t.Fatal("C6 should be bipartite")
+	}
+	// Disconnected graphs are handled per component.
+	g := New(4)
+	_ = g.AddEdge(0, 1)
+	if _, _, ok := g.Bipartition(); !ok {
+		t.Fatal("disconnected bipartite graph rejected")
+	}
+}
+
+func TestBipartitionClassesValid(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%10) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 0.2, rng)
+		a, b, ok := g.Bipartition()
+		if !ok {
+			return true // nothing to check; non-bipartite is legal
+		}
+		inA := map[NodeID]bool{}
+		for _, v := range a {
+			inA[v] = true
+		}
+		for _, e := range g.Edges() {
+			if inA[e.U] == inA[e.V] {
+				return false // an edge inside a class
+			}
+		}
+		return len(a)+len(b) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	sub := g.InducedSubgraph([]NodeID{0, 1, 2})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced = %v", sub)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatalf("induced edges wrong: %v", sub)
+	}
+	// Out-of-range and duplicate nodes are ignored.
+	sub2 := g.InducedSubgraph([]NodeID{0, 0, 9, 1})
+	if sub2.N() != 2 || !sub2.HasEdge(0, 1) {
+		t.Fatalf("induced with junk input = %v", sub2)
+	}
+}

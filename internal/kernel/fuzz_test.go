@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"testing"
+
+	"anondyn/internal/multigraph"
+)
+
+// FuzzHistoryFromKey exercises the state-key parser with arbitrary input:
+// it must never panic, and on accepted input it must round-trip.
+func FuzzHistoryFromKey(f *testing.F) {
+	f.Add("", 0)
+	f.Add("1", 1)
+	f.Add("1.3", 2)
+	f.Add("x", 1)
+	f.Add("1..2", 3)
+	f.Add("999999999", 1)
+	f.Fuzz(func(t *testing.T, key string, wantLen int) {
+		if wantLen < 0 || wantLen > 16 {
+			return
+		}
+		h, err := historyFromKey(key, wantLen)
+		if err != nil {
+			return
+		}
+		if len(h) != wantLen {
+			t.Fatalf("accepted key %q with length %d, want %d", key, len(h), wantLen)
+		}
+		if h.Key() != key {
+			t.Fatalf("round trip %q -> %q", key, h.Key())
+		}
+	})
+}
+
+// FuzzSolveCountInterval feeds the solver views derived from arbitrary
+// byte-encoded multigraph schedules: the solver must never panic, never
+// invert its interval, and always include the generating size.
+func FuzzSolveCountInterval(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Interpret raw as up to 4 nodes x up to 3 rounds of symbols.
+		const maxNodes, rounds = 4, 3
+		if len(raw) == 0 {
+			return
+		}
+		w := int(raw[0])%maxNodes + 1
+		if len(raw) < 1+w*rounds {
+			return
+		}
+		labels := make([][]multigraph.LabelSet, w)
+		for v := 0; v < w; v++ {
+			row := make([]multigraph.LabelSet, rounds)
+			for r := 0; r < rounds; r++ {
+				row[r] = multigraph.SymbolFromIndex(int(raw[1+v*rounds+r]) % 3)
+			}
+			labels[v] = row
+		}
+		m, err := multigraph.New(2, labels)
+		if err != nil {
+			t.Fatalf("generator produced invalid multigraph: %v", err)
+		}
+		for rr := 1; rr <= rounds; rr++ {
+			view, err := m.LeaderView(rr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iv, err := SolveCountInterval(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iv.Empty || iv.Unbounded {
+				t.Fatalf("genuine view gave %v", iv)
+			}
+			if iv.MinSize > iv.MaxSize {
+				t.Fatalf("inverted interval %v", iv)
+			}
+			if w < iv.MinSize || w > iv.MaxSize {
+				t.Fatalf("true size %d outside %v", w, iv)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"fmt"
+
+	"anondyn/internal/multigraph"
+)
+
+// IncrementalSolver maintains the leader's count interval across rounds
+// without re-walking the whole state tree: each AddRound extends the
+// deepest level's linear forms in place, so processing round t costs
+// O(3^{t+1}) instead of the O(3¹ + 3² + ... + 3^{t+1}) a from-scratch
+// solve-per-round loop pays. Protocol leaders (core.CountOnMultigraph,
+// chainnet) use it to re-evaluate their uncertainty every round.
+//
+// The zero value is not usable; construct with NewIncrementalSolver.
+type IncrementalSolver struct {
+	rounds int
+	total  int // R1(⊥) + R2(⊥); n = total - c0
+	forms  []form
+}
+
+// NewIncrementalSolver returns a solver with no observations yet.
+func NewIncrementalSolver() *IncrementalSolver {
+	return &IncrementalSolver{}
+}
+
+// Rounds returns the number of observations added.
+func (s *IncrementalSolver) Rounds() int { return s.rounds }
+
+// AddRound incorporates the observation of the next round (round index
+// s.Rounds()) and returns the updated interval of consistent sizes.
+func (s *IncrementalSolver) AddRound(obs multigraph.Observation) (Interval, error) {
+	get := func(label int, y multigraph.History) int {
+		return obs[multigraph.ObsKey{Label: label, StateKey: y.Key()}]
+	}
+	if s.rounds == 0 {
+		r1 := get(1, multigraph.History{})
+		r2 := get(2, multigraph.History{})
+		s.total = r1 + r2
+		s.forms = []form{
+			{a: r1, b: -1},
+			{a: r2, b: -1},
+			{a: 0, b: +1},
+		}
+	} else {
+		next := make([]form, 3*len(s.forms))
+		for yi, f := range s.forms {
+			y := multigraph.HistoryFromIndex(yi, s.rounds, 2)
+			o1 := get(1, y)
+			o2 := get(2, y)
+			next[3*yi+0] = form{a: f.a - o2, b: f.b}
+			next[3*yi+1] = form{a: f.a - o1, b: f.b}
+			next[3*yi+2] = form{a: o1 + o2 - f.a, b: -f.b}
+		}
+		s.forms = next
+	}
+	s.rounds++
+	return s.Interval()
+}
+
+// Interval returns the current interval of consistent sizes. Before any
+// observation it is unbounded.
+func (s *IncrementalSolver) Interval() (Interval, error) {
+	if s.rounds == 0 {
+		return Interval{MinSize: 0, Unbounded: true}, nil
+	}
+	const unset = int(^uint(0) >> 1)
+	lo, hi := 0, unset
+	for _, f := range s.forms {
+		if f.b > 0 {
+			if c := -f.a; c > lo {
+				lo = c
+			}
+		} else {
+			if f.a < hi {
+				hi = f.a
+			}
+		}
+	}
+	if hi == unset {
+		return Interval{}, fmt.Errorf("kernel: no upper constraint on c0 (malformed observations)")
+	}
+	if lo > hi {
+		return Interval{Empty: true}, nil
+	}
+	return Interval{MinSize: s.total - hi, MaxSize: s.total - lo}, nil
+}

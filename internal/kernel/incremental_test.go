@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"testing"
+
+	"anondyn/internal/multigraph"
+)
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		mg, err := multigraph.Random(2, int(2+seed%8), 5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := NewIncrementalSolver()
+		for rounds := 1; rounds <= 5; rounds++ {
+			view := mustView(t, mg, rounds)
+			got, err := inc.AddRound(view[rounds-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SolveCountInterval(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed=%d rounds=%d: incremental %v != batch %v", seed, rounds, got, want)
+			}
+		}
+	}
+}
+
+func TestIncrementalEmptyUnbounded(t *testing.T) {
+	inc := NewIncrementalSolver()
+	iv, err := inc.Interval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Unbounded {
+		t.Fatalf("pre-observation interval = %v", iv)
+	}
+	if inc.Rounds() != 0 {
+		t.Fatalf("Rounds = %d", inc.Rounds())
+	}
+}
+
+func TestIncrementalDetectsInconsistency(t *testing.T) {
+	inc := NewIncrementalSolver()
+	if _, err := inc.AddRound(multigraph.Observation{
+		{Label: 1, StateKey: multigraph.History{}.Key()}: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := inc.AddRound(multigraph.Observation{
+		{Label: 1, StateKey: multigraph.History{multigraph.SetOf(2)}.Key()}: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Empty {
+		t.Fatalf("inconsistent observations gave %v", iv)
+	}
+}
+
+func TestIncrementalWorstCaseTrajectory(t *testing.T) {
+	// The incremental intervals along a worst-case schedule shrink and
+	// collapse exactly when the batch solver says so.
+	mg, err := multigraph.FromHistoryCounts(2, 2, []int{0, 0, 1, 0, 0, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncrementalSolver()
+	view := mustView(t, mg, 2)
+	iv1, err := inc.AddRound(view[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv2, err := inc.AddRound(view[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv1.Unique() || iv2.Unique() {
+		t.Fatalf("Figure 4 schedule should stay ambiguous: %v %v", iv1, iv2)
+	}
+	if iv2.Width() > iv1.Width() {
+		t.Fatalf("interval widened: %v -> %v", iv1, iv2)
+	}
+}

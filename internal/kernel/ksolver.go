@@ -1,0 +1,221 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"anondyn/internal/multigraph"
+)
+
+// EnumLimits bounds the search of the general-k enumerator. The solution
+// space of ℳ(DBL)ₖ views grows quickly with k and the observation counts
+// (for k ≥ 3 the kernel of M_r has dimension > 1), so the enumeration is
+// explicitly budgeted.
+type EnumLimits struct {
+	// MaxConfigs caps the number of partial configurations explored.
+	// Zero means the default (1e6).
+	MaxConfigs int
+}
+
+func (l EnumLimits) budget() int {
+	if l.MaxConfigs <= 0 {
+		return 1_000_000
+	}
+	return l.MaxConfigs
+}
+
+// ErrBudgetExhausted is returned when the enumeration exceeds its budget.
+var ErrBudgetExhausted = fmt.Errorf("kernel: enumeration budget exhausted")
+
+// EnumerateSizes computes the exact set of network sizes consistent with a
+// leader view over a k-label alphabet, by depth-first search with
+// constraint propagation over the state tree. For k = 2 it agrees with
+// SolveCountInterval (tested); for k ≥ 3 it is the only exact solver in
+// this package, practical for small instances only.
+//
+// The search enumerates, per observed node-state y, the ways to distribute
+// y's population over the 2^k - 1 label sets consistently with the round's
+// per-label observations, and recurses level by level; a size is reported
+// as soon as one full-depth witness exists.
+func EnumerateSizes(view multigraph.LeaderView, k int, limits EnumLimits) ([]int, error) {
+	if k < 1 || k > multigraph.MaxK {
+		return nil, fmt.Errorf("kernel: alphabet size %d out of range [1,%d]", k, multigraph.MaxK)
+	}
+	t := len(view)
+	if t == 0 {
+		return nil, fmt.Errorf("kernel: empty view constrains nothing")
+	}
+	e := &enumerator{view: view, k: k, budget: limits.budget()}
+	// Top level: distribute the unknown total over the round-0 label sets.
+	top := parent{y: multigraph.History{}}
+	dists, err := e.distributions(0, top, -1)
+	if err != nil {
+		return nil, err
+	}
+	sizes := map[int]bool{}
+	for _, d := range dists {
+		n := 0
+		for _, u := range d {
+			n += u
+		}
+		if sizes[n] {
+			continue
+		}
+		ok, err := e.feasible(1, e.children(top, d))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			sizes[n] = true
+		}
+	}
+	out := make([]int, 0, len(sizes))
+	for n := range sizes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// parent is an aggregated node-state with its population.
+type parent struct {
+	y multigraph.History
+	u int
+}
+
+type enumerator struct {
+	view   multigraph.LeaderView
+	k      int
+	budget int
+}
+
+func (e *enumerator) obs(round, label int, y multigraph.History) int {
+	return e.view[round][multigraph.ObsKey{Label: label, StateKey: y.Key()}]
+}
+
+// spend consumes budget, erroring when exhausted.
+func (e *enumerator) spend() error {
+	e.budget--
+	if e.budget < 0 {
+		return ErrBudgetExhausted
+	}
+	return nil
+}
+
+// distributions enumerates the assignments of parent p's population to the
+// valid label sets at the given round, satisfying the per-label
+// observations R_j(p.y). total < 0 means the population is unconstrained
+// (the top level, where the total IS the unknown network size).
+func (e *enumerator) distributions(round int, p parent, total int) ([][]int, error) {
+	symbols := multigraph.AllSymbols(e.k)
+	remaining := make([]int, e.k+1) // remaining[j] for labels 1..k
+	for j := 1; j <= e.k; j++ {
+		remaining[j] = e.obs(round, j, p.y)
+	}
+	var out [][]int
+	cur := make([]int, len(symbols))
+	var rec func(idx, used int) error
+	rec = func(idx, used int) error {
+		if err := e.spend(); err != nil {
+			return err
+		}
+		if idx == len(symbols) {
+			for j := 1; j <= e.k; j++ {
+				if remaining[j] != 0 {
+					return nil
+				}
+			}
+			if total >= 0 && used != total {
+				return nil
+			}
+			out = append(out, append([]int(nil), cur...))
+			return nil
+		}
+		s := symbols[idx]
+		labels := s.Labels()
+		// Upper bound for this symbol's count.
+		maxV := int(^uint(0) >> 1)
+		for _, j := range labels {
+			if remaining[j] < maxV {
+				maxV = remaining[j]
+			}
+		}
+		if total >= 0 && total-used < maxV {
+			maxV = total - used
+		}
+		for v := 0; v <= maxV; v++ {
+			cur[idx] = v
+			for _, j := range labels {
+				remaining[j] -= v
+			}
+			if err := rec(idx+1, used+v); err != nil {
+				return err
+			}
+			for _, j := range labels {
+				remaining[j] += v
+			}
+		}
+		cur[idx] = 0
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// children maps a distribution back to the populated child parents.
+func (e *enumerator) children(p parent, dist []int) []parent {
+	symbols := multigraph.AllSymbols(e.k)
+	var out []parent
+	for i, u := range dist {
+		if u > 0 {
+			out = append(out, parent{y: p.y.Extend(symbols[i]), u: u})
+		}
+	}
+	return out
+}
+
+// feasible reports whether the populated parents at the given level can be
+// extended consistently through the rest of the view.
+func (e *enumerator) feasible(level int, parents []parent) (bool, error) {
+	if level >= len(e.view) {
+		return true, nil
+	}
+	// Every observed state at this level must be populated: an
+	// observation about a state no node occupies is inconsistent. (All
+	// keys in view[level] are states of length `level` by construction.)
+	populated := make(map[string]bool, len(parents))
+	for _, p := range parents {
+		populated[p.y.Key()] = true
+	}
+	for key, count := range e.view[level] {
+		if count > 0 && !populated[key.StateKey] {
+			return false, nil
+		}
+	}
+	return e.assign(level, parents, 0, nil)
+}
+
+// assign walks the parents at one level, enumerating each one's
+// distribution and recursing into the next level once all are assigned.
+func (e *enumerator) assign(level int, parents []parent, idx int, acc []parent) (bool, error) {
+	if idx == len(parents) {
+		return e.feasible(level+1, acc)
+	}
+	p := parents[idx]
+	dists, err := e.distributions(level, p, p.u)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range dists {
+		ok, err := e.assign(level, parents, idx+1, append(acc, e.children(p, d)...))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,272 @@
+package kernel
+
+import (
+	"math/big"
+	"testing"
+
+	"anondyn/internal/linalg"
+	"anondyn/internal/multigraph"
+)
+
+func TestDimensions(t *testing.T) {
+	cases := []struct {
+		r, k       int
+		rows, cols int
+	}{
+		{0, 2, 2, 3},   // M_0: 2x3 (paper Eq. 2)
+		{1, 2, 8, 9},   // M_1: 8x9 (paper Eq. 4/5)
+		{2, 2, 26, 27}, // rows = 2(1+3+9)
+		{0, 3, 3, 7},
+		{1, 3, 24, 49},
+	}
+	for _, tc := range cases {
+		if got := Rows(tc.r, tc.k); got != tc.rows {
+			t.Errorf("Rows(%d,%d) = %d, want %d", tc.r, tc.k, got, tc.rows)
+		}
+		if got := Cols(tc.r, tc.k); got != tc.cols {
+			t.Errorf("Cols(%d,%d) = %d, want %d", tc.r, tc.k, got, tc.cols)
+		}
+	}
+}
+
+func TestMatrixM0MatchesPaper(t *testing.T) {
+	// M_0 = [1 0 1; 0 1 1] (paper Equation 2).
+	m, err := Matrix(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.MustFromInts([][]int{{1, 0, 1}, {0, 1, 1}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j).Cmp(want.At(i, j)) != 0 {
+				t.Fatalf("M_0 =\n%swant\n%s", m, want)
+			}
+		}
+	}
+}
+
+func TestMatrixM1MatchesPaper(t *testing.T) {
+	// The paper's Equation 5 gives M_1 explicitly.
+	want := linalg.MustFromInts([][]int{
+		{1, 1, 1, 0, 0, 0, 1, 1, 1},
+		{0, 0, 0, 1, 1, 1, 1, 1, 1},
+		{1, 0, 1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 1, 0, 1, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 1, 0, 1},
+		{0, 1, 1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 1, 1, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 0, 1, 1},
+	})
+	m, err := Matrix(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 8 || m.Cols() != 9 {
+		t.Fatalf("M_1 is %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 9; j++ {
+			if m.At(i, j).Cmp(want.At(i, j)) != 0 {
+				t.Fatalf("M_1 mismatch at (%d,%d):\n%s", i, j, m)
+			}
+		}
+	}
+}
+
+func TestMatrixErrors(t *testing.T) {
+	if _, err := Matrix(-1, 2); err == nil {
+		t.Fatal("negative round should error")
+	}
+	if _, err := Matrix(0, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestRowIndexErrors(t *testing.T) {
+	if _, err := RowIndex(1, 2, 0, multigraph.History{}); err == nil {
+		t.Fatal("label 0 should error")
+	}
+	if _, err := RowIndex(0, 2, 1, multigraph.History{multigraph.SetOf(1)}); err == nil {
+		t.Fatal("state longer than round should error")
+	}
+}
+
+// Lemma 2: rank(M_r) equals the number of rows, so the kernel is
+// one-dimensional (cols - rows = 1).
+func TestLemma2KernelDimension(t *testing.T) {
+	for r := 0; r <= 3; r++ {
+		m, err := Matrix(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank := m.Rank(); rank != m.Rows() {
+			t.Fatalf("r=%d: rank %d, want full row rank %d", r, rank, m.Rows())
+		}
+		basis := m.KernelBasis()
+		if len(basis) != 1 {
+			t.Fatalf("r=%d: kernel dimension %d, want 1", r, len(basis))
+		}
+	}
+}
+
+// Lemma 3: the eliminated kernel equals the closed form (up to sign), and
+// the closed form satisfies the recursion k_r = [k_{r-1} k_{r-1} -k_{r-1}].
+func TestLemma3ClosedFormMatchesElimination(t *testing.T) {
+	for r := 0; r <= 3; r++ {
+		m, err := Matrix(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.KernelBasis()[0]
+		want := ClosedFormKernel(r)
+		if !got.Equal(want) && !got.Equal(want.Neg()) {
+			t.Fatalf("r=%d: eliminated kernel %s != closed form ±%s", r, got, want)
+		}
+	}
+}
+
+func TestLemma3Recursion(t *testing.T) {
+	for r := 1; r <= 6; r++ {
+		prev := ClosedFormKernel(r - 1)
+		want := prev.Append(prev).Append(prev.Neg())
+		if !ClosedFormKernel(r).Equal(want) {
+			t.Fatalf("r=%d: recursion k_r = [k_{r-1} k_{r-1} -k_{r-1}] fails", r)
+		}
+	}
+}
+
+func TestKernelPaperK1(t *testing.T) {
+	// k_1 = [1 1 -1 1 1 -1 -1 -1 1] as printed in the paper.
+	want := linalg.VecFromInts(1, 1, -1, 1, 1, -1, -1, -1, 1)
+	if got := ClosedFormKernel(1); !got.Equal(want) {
+		t.Fatalf("k_1 = %s, want %s", got, want)
+	}
+}
+
+// M_r k_r = 0 for larger r than dense elimination can reach: the product is
+// cheap even when elimination is not.
+func TestKernelInNullspaceLargeR(t *testing.T) {
+	for r := 0; r <= 5; r++ {
+		m, err := Matrix(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := m.MulVec(ClosedFormKernel(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.IsZero() {
+			t.Fatalf("r=%d: M_r k_r != 0", r)
+		}
+	}
+}
+
+// Lemma 4: Σk_r = 1, Σ⁻k_r = ½(3^{r+1}+1) - 1, Σ⁺k_r = ½(3^{r+1}+1),
+// verified against the explicit vector for small r and in closed form for
+// large r.
+func TestLemma4Sums(t *testing.T) {
+	for r := 0; r <= 8; r++ {
+		k := ClosedFormKernel(r)
+		if s := k.Sum(); s.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("r=%d: Σk = %s, want 1", r, s)
+		}
+		if got, want := k.SumNegative(), KernelSumNegative(r); got.Cmp(want) != 0 {
+			t.Fatalf("r=%d: Σ⁻k = %s, want %s", r, got, want)
+		}
+		if got, want := k.SumPositive(), KernelSumPositive(r); got.Cmp(want) != 0 {
+			t.Fatalf("r=%d: Σ⁺k = %s, want %s", r, got, want)
+		}
+	}
+	// Closed forms agree with the paper's examples: Σ⁺k_1 = 5, Σ⁻k_1 = 4.
+	if KernelSumPositive(1).Int64() != 5 || KernelSumNegative(1).Int64() != 4 {
+		t.Fatal("Lemma 4 closed forms disagree with the paper's r=1 example")
+	}
+}
+
+// The fundamental identity: for any multigraph, M_r (true counts) equals
+// the observation vector derived from the leader's view.
+func TestObservationIdentity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		mg, err := multigraph.Random(2, 6, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r <= 2; r++ {
+			m, err := Matrix(r, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := TrueSolutionVector(mg, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view, err := mg.LeaderView(r + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := ObservationVector(view, r, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prod, err := m.MulVec(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.Equal(obs) {
+				t.Fatalf("seed=%d r=%d: M_r s != m_r\nM s = %s\nm   = %s", seed, r, prod, obs)
+			}
+		}
+	}
+}
+
+func TestObservationVectorErrors(t *testing.T) {
+	mg, err := multigraph.Random(2, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := mg.LeaderView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ObservationVector(view, 1, 2); err == nil {
+		t.Fatal("view shorter than r+1 should error")
+	}
+}
+
+func TestHistoryFromKey(t *testing.T) {
+	h := multigraph.History{multigraph.SetOf(1), multigraph.SetOf(1, 2)}
+	back, err := historyFromKey(h.Key(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(h) {
+		t.Fatalf("round trip = %v, want %v", back, h)
+	}
+	if _, err := historyFromKey("", 0); err != nil {
+		t.Fatalf("empty key for length 0: %v", err)
+	}
+	for _, bad := range []struct {
+		key  string
+		want int
+	}{
+		{"", 1},
+		{"x", 1},
+		{"1.", 2},
+		{"1", 2},
+		{".1", 2},
+	} {
+		if _, err := historyFromKey(bad.key, bad.want); err == nil {
+			t.Fatalf("historyFromKey(%q,%d) should error", bad.key, bad.want)
+		}
+	}
+}
+
+func TestTrueSolutionVectorError(t *testing.T) {
+	mg, err := multigraph.Random(2, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrueSolutionVector(mg, 5); err == nil {
+		t.Fatal("round beyond horizon should error")
+	}
+}

@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"fmt"
+	"math/big"
+
+	"anondyn/internal/linalg"
+	"anondyn/internal/multigraph"
+)
+
+// StructuredMulVec computes M_r · v without materializing M_r, exploiting
+// the prefix structure of the rows: the row for connection (j, y) sums v
+// over all full histories extending y whose round-len(y) entry contains j.
+// Using bottom-up prefix sums the whole product costs O(k · (2^k-1)^{r+1})
+// — linear in the vector length — whereas the dense matrix has
+// ~(2^k-1)^{2(r+1)} entries. This lets tests verify M_r k_r = 0 at depths
+// far beyond what elimination or even dense storage can reach.
+func StructuredMulVec(r, k int, v linalg.Vector) (linalg.Vector, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("kernel: negative round %d", r)
+	}
+	if k < 1 || k > multigraph.MaxK {
+		return nil, fmt.Errorf("kernel: alphabet size %d out of range [1,%d]", k, multigraph.MaxK)
+	}
+	cols := Cols(r, k)
+	if len(v) != cols {
+		return nil, fmt.Errorf("kernel: vector length %d, want %d", len(v), cols)
+	}
+	base := multigraph.SymbolCount(k)
+	// prefix[t][yIdx] = Σ v over histories (length r+1) with the given
+	// length-t prefix. Built top of the tree last: prefix[r+1] = v.
+	levels := make([][]*big.Int, r+2)
+	levels[r+1] = make([]*big.Int, cols)
+	for i := range v {
+		levels[r+1][i] = new(big.Int).Set(v[i])
+	}
+	for t := r; t >= 0; t-- {
+		size := multigraph.HistoryCount(t, k)
+		cur := make([]*big.Int, size)
+		for y := 0; y < size; y++ {
+			acc := new(big.Int)
+			for s := 0; s < base; s++ {
+				acc.Add(acc, levels[t+1][y*base+s])
+			}
+			cur[y] = acc
+		}
+		levels[t] = cur
+	}
+	out := linalg.NewVector(Rows(r, k))
+	// Row (j, y) with len(y) = t: Σ over symbols X containing j of the
+	// prefix sum at y·X (level t+1).
+	idx := 0
+	for t := 0; t <= r; t++ {
+		size := multigraph.HistoryCount(t, k)
+		for j := 1; j <= k; j++ {
+			for y := 0; y < size; y++ {
+				acc := out[idx]
+				for s := 0; s < base; s++ {
+					if multigraph.SymbolFromIndex(s).Has(j) {
+						acc.Add(acc, levels[t+1][y*base+s])
+					}
+				}
+				idx++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package linalg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Det returns the determinant of a square matrix, computed with the
+// fraction-free Bareiss algorithm: all intermediate values stay integral,
+// so the result is exact. Used by tests of Lemma 2's base case
+// (det(M_0 minor) = 1) and by consumers needing exact singularity checks.
+func (m *Matrix) Det() (*big.Int, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: determinant of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	if n == 0 {
+		return big.NewInt(1), nil
+	}
+	// Work on a copy.
+	a := make([][]*big.Int, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]*big.Int, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = new(big.Int).Set(m.a[i*m.cols+j])
+		}
+	}
+	sign := 1
+	prev := big.NewInt(1)
+	tmp := new(big.Int)
+	for k := 0; k < n-1; k++ {
+		// Pivot: find a non-zero entry in column k at or below row k.
+		if a[k][k].Sign() == 0 {
+			swapped := false
+			for i := k + 1; i < n; i++ {
+				if a[i][k].Sign() != 0 {
+					a[k], a[i] = a[i], a[k]
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return new(big.Int), nil // singular
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				// a[i][j] = (a[i][j]*a[k][k] - a[i][k]*a[k][j]) / prev
+				a[i][j].Mul(a[i][j], a[k][k])
+				tmp.Mul(a[i][k], a[k][j])
+				a[i][j].Sub(a[i][j], tmp)
+				a[i][j].Quo(a[i][j], prev) // exact by Bareiss' theorem
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			a[i][k].SetInt64(0)
+		}
+		prev.Set(a[k][k])
+	}
+	det := new(big.Int).Set(a[n-1][n-1])
+	if sign < 0 {
+		det.Neg(det)
+	}
+	return det, nil
+}

@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Matrix
+		want int64
+	}{
+		{"empty", MustFromInts(nil), 1},
+		{"1x1", MustFromInts([][]int{{7}}), 7},
+		{"identity3", MustFromInts([][]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}), 1},
+		{"2x2", MustFromInts([][]int{{1, 2}, {3, 4}}), -2},
+		{"singular", MustFromInts([][]int{{1, 2}, {2, 4}}), 0},
+		{"needs pivot swap", MustFromInts([][]int{{0, 1}, {1, 0}}), -1},
+		{"all-zero column", MustFromInts([][]int{{0, 1}, {0, 2}}), 0},
+		// The square submatrix of the paper's M_0 dropping column 3.
+		{"M0 minor", MustFromInts([][]int{{1, 0}, {0, 1}}), 1},
+		{"3x3", MustFromInts([][]int{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}}), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.m.Det()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int64() != tc.want {
+				t.Fatalf("Det = %s, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDetNonSquare(t *testing.T) {
+	m := MustFromInts([][]int{{1, 2, 3}})
+	if _, err := m.Det(); err == nil {
+		t.Fatal("non-square determinant should error")
+	}
+}
+
+// Property: det != 0 iff full rank, and det(A) is multilinear enough to
+// flip sign under a row swap.
+func TestDetRankConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		m, err := NewMatrix(n, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.SetInt64(i, j, int64(rng.Intn(7)-3))
+			}
+		}
+		det, err := m.Det()
+		if err != nil {
+			return false
+		}
+		fullRank := m.Rank() == n
+		if (det.Sign() != 0) != fullRank {
+			return false
+		}
+		if n < 2 {
+			return true
+		}
+		// Swap two rows: determinant negates.
+		sw := m.Clone()
+		for j := 0; j < n; j++ {
+			a, b := sw.At(0, j), sw.At(1, j)
+			sw.Set(0, j, b)
+			sw.Set(1, j, a)
+		}
+		det2, err := sw.Det()
+		if err != nil {
+			return false
+		}
+		return det2.Cmp(new(big.Int).Neg(det)) == 0
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

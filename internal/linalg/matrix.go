@@ -1,0 +1,129 @@
+// Package linalg implements the exact integer/rational linear algebra the
+// paper's Section 4 proofs rely on: matrix rank, kernel bases, and
+// matrix-vector products over the integers, all with arbitrary-precision
+// arithmetic. Floating point is never used: Lemmas 2-4 are statements about
+// integer matrices, and an approximate kernel would be unsound.
+package linalg
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Matrix is a dense rows x cols matrix of arbitrary-precision integers.
+// The zero value is the 0x0 matrix; use NewMatrix or FromInts.
+type Matrix struct {
+	rows, cols int
+	a          []*big.Int // row-major
+}
+
+// NewMatrix returns a zero matrix with the given dimensions.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("linalg: negative dimension %dx%d", rows, cols)
+	}
+	a := make([]*big.Int, rows*cols)
+	for i := range a {
+		a[i] = new(big.Int)
+	}
+	return &Matrix{rows: rows, cols: cols, a: a}, nil
+}
+
+// FromInts builds a matrix from an int slice-of-slices. All rows must have
+// the same length.
+func FromInts(data [][]int) (*Matrix, error) {
+	rows := len(data)
+	cols := 0
+	if rows > 0 {
+		cols = len(data[0])
+	}
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range data {
+		if len(row) != cols {
+			return nil, fmt.Errorf("linalg: ragged row %d: len %d, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			m.a[i*cols+j].SetInt64(int64(v))
+		}
+	}
+	return m, nil
+}
+
+// MustFromInts is FromInts that panics on error; for fixtures and tests.
+func MustFromInts(data [][]int) *Matrix {
+	m, err := FromInts(data)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns a copy of the entry at (i, j).
+func (m *Matrix) At(i, j int) *big.Int {
+	return new(big.Int).Set(m.a[i*m.cols+j])
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v *big.Int) {
+	m.a[i*m.cols+j].Set(v)
+}
+
+// SetInt64 assigns entry (i, j) from an int64.
+func (m *Matrix) SetInt64(i, j int, v int64) {
+	m.a[i*m.cols+j].SetInt64(v)
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c, _ := NewMatrix(m.rows, m.cols)
+	for i := range m.a {
+		c.a[i].Set(m.a[i])
+	}
+	return c
+}
+
+// MulVec returns m*x. x must have length Cols.
+func (m *Matrix) MulVec(x Vector) (Vector, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("linalg: MulVec length %d, want %d", len(x), m.cols)
+	}
+	out := NewVector(m.rows)
+	t := new(big.Int)
+	for i := 0; i < m.rows; i++ {
+		acc := out[i]
+		for j := 0; j < m.cols; j++ {
+			e := m.a[i*m.cols+j]
+			if e.Sign() == 0 || x[j].Sign() == 0 {
+				continue
+			}
+			acc.Add(acc, t.Mul(e, x[j]))
+		}
+	}
+	return out, nil
+}
+
+// String renders the matrix with one bracketed row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(m.a[i*m.cols+j].String())
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Vector is a slice of arbitrary-precision integers. It represents both the
+// solution vectors s_r (non-negative node counts per state history) and the
+// kernel vectors k_r of the paper.
+type Vector []*big.Int
+
+// NewVector returns a zero vector of the given length.
+func NewVector(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = new(big.Int)
+	}
+	return v
+}
+
+// VecFromInts builds a vector from int64 components.
+func VecFromInts(vals ...int64) Vector {
+	v := make(Vector, len(vals))
+	for i, x := range vals {
+		v[i] = big.NewInt(x)
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	for i := range v {
+		c[i] = new(big.Int).Set(v[i])
+	}
+	return c
+}
+
+// Add returns v + w. Panics if lengths differ (programmer error in this
+// package's internal use; exported callers validate sizes upstream).
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic("linalg: vector length mismatch")
+	}
+	out := NewVector(len(v))
+	for i := range v {
+		out[i].Add(v[i], w[i])
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic("linalg: vector length mismatch")
+	}
+	out := NewVector(len(v))
+	for i := range v {
+		out[i].Sub(v[i], w[i])
+	}
+	return out
+}
+
+// Scale returns t*v.
+func (v Vector) Scale(t *big.Int) Vector {
+	out := NewVector(len(v))
+	for i := range v {
+		out[i].Mul(v[i], t)
+	}
+	return out
+}
+
+// Neg returns -v.
+func (v Vector) Neg() Vector {
+	out := NewVector(len(v))
+	for i := range v {
+		out[i].Neg(v[i])
+	}
+	return out
+}
+
+// Sum returns Σv, the sum of all components (the paper's Σa notation).
+// For a solution vector s_r this is the number of non-leader processes.
+func (v Vector) Sum() *big.Int {
+	s := new(big.Int)
+	for i := range v {
+		s.Add(s, v[i])
+	}
+	return s
+}
+
+// SumPositive returns Σ⁺v, the sum of the positive components only.
+func (v Vector) SumPositive() *big.Int {
+	s := new(big.Int)
+	for i := range v {
+		if v[i].Sign() > 0 {
+			s.Add(s, v[i])
+		}
+	}
+	return s
+}
+
+// SumNegative returns |Σ⁻v|: the absolute value of the sum of the negative
+// components. The paper's Lemma 4 uses Σ⁻k_r as a magnitude (the number of
+// processes the adversary must place on the negative support), so we return
+// it as a non-negative quantity.
+func (v Vector) SumNegative() *big.Int {
+	s := new(big.Int)
+	for i := range v {
+		if v[i].Sign() < 0 {
+			s.Add(s, v[i])
+		}
+	}
+	return s.Neg(s)
+}
+
+// IsZero reports whether every component is zero.
+func (v Vector) IsZero() bool {
+	for i := range v {
+		if v[i].Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every component is >= 0, i.e. whether the
+// vector is realizable as a configuration of node counts.
+func (v Vector) NonNegative() bool {
+	for i := range v {
+		if v[i].Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i].Cmp(w[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as "[a b c]".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(v[i].String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Append returns the concatenation [v; w], the paper's stacked-vector
+// notation used in Lemma 3's recursive kernel construction.
+func (v Vector) Append(w Vector) Vector {
+	out := make(Vector, 0, len(v)+len(w))
+	for i := range v {
+		out = append(out, new(big.Int).Set(v[i]))
+	}
+	for i := range w {
+		out = append(out, new(big.Int).Set(w[i]))
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package montecarlo measures the average-case behaviour of counting in
+// anonymous dynamic networks, complementing the paper's worst-case bound.
+// The adversary of Theorem 1 is tuned to the kernel's negative support;
+// this package quantifies how far typical (random, fair) schedules fall
+// from that worst case: on random ℳ(DBL)₂ schedules the leader's interval
+// usually collapses within two or three rounds regardless of size, while
+// the worst case grows as ⌊log₃(2n+1)⌋ + 1.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anondyn/internal/core"
+	"anondyn/internal/multigraph"
+)
+
+// Summary describes a sample of counting-round measurements.
+type Summary struct {
+	// Trials is the sample size.
+	Trials int
+	// Mean is the sample mean of rounds-to-count.
+	Mean float64
+	// Min and Max bound the sample.
+	Min, Max int
+	// Quantiles holds the 50th, 90th and 99th percentiles.
+	P50, P90, P99 int
+	// Failures counts trials whose count never resolved within the
+	// horizon (always 0 in practice for the horizons used).
+	Failures int
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("trials=%d mean=%.2f min=%d p50=%d p90=%d p99=%d max=%d failures=%d",
+		s.Trials, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max, s.Failures)
+}
+
+// summarize computes a Summary from raw round counts (-1 = failure).
+func summarize(rounds []int) Summary {
+	s := Summary{Min: math.MaxInt}
+	var ok []int
+	total := 0
+	for _, r := range rounds {
+		if r < 0 {
+			s.Failures++
+			continue
+		}
+		ok = append(ok, r)
+		total += r
+		if r < s.Min {
+			s.Min = r
+		}
+		if r > s.Max {
+			s.Max = r
+		}
+	}
+	s.Trials = len(rounds)
+	if len(ok) == 0 {
+		s.Min = 0
+		return s
+	}
+	s.Mean = float64(total) / float64(len(ok))
+	sort.Ints(ok)
+	q := func(p float64) int {
+		idx := int(p * float64(len(ok)-1))
+		return ok[idx]
+	}
+	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
+	return s
+}
+
+// RandomScheduleRounds measures the leader-state counter on `trials`
+// uniformly random ℳ(DBL)₂ schedules of size n, each run for up to
+// `horizon` rounds. Seeds derive deterministically from baseSeed, so the
+// study is reproducible.
+func RandomScheduleRounds(n, trials, horizon int, baseSeed int64) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("montecarlo: need n >= 1, got %d", n)
+	}
+	if trials < 1 {
+		return Summary{}, fmt.Errorf("montecarlo: need trials >= 1, got %d", trials)
+	}
+	if horizon < 1 {
+		return Summary{}, fmt.Errorf("montecarlo: need horizon >= 1, got %d", horizon)
+	}
+	rounds := make([]int, trials)
+	for i := 0; i < trials; i++ {
+		m, err := multigraph.Random(2, n, horizon, baseSeed+int64(i))
+		if err != nil {
+			return Summary{}, err
+		}
+		res, err := core.CountOnMultigraph(m, horizon)
+		if err != nil {
+			rounds[i] = -1
+			continue
+		}
+		if res.Count != n {
+			return Summary{}, fmt.Errorf("montecarlo: trial %d counted %d on a size-%d schedule", i, res.Count, n)
+		}
+		rounds[i] = res.Rounds
+	}
+	return summarize(rounds), nil
+}
+
+// Comparison pairs the average case with the worst case for one size.
+type Comparison struct {
+	N          int
+	Average    Summary
+	WorstCase  int
+	LowerBound int
+}
+
+// Compare runs the Monte-Carlo study for each size and pairs it with the
+// measured worst case and the theoretical bound.
+func Compare(sizes []int, trials, horizon int, baseSeed int64) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(sizes))
+	for _, n := range sizes {
+		avg, err := RandomScheduleRounds(n, trials, horizon, baseSeed)
+		if err != nil {
+			return nil, fmt.Errorf("montecarlo: size %d: %w", n, err)
+		}
+		wc, err := core.WorstCaseCountRounds(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{
+			N:          n,
+			Average:    avg,
+			WorstCase:  wc.Rounds,
+			LowerBound: core.LowerBoundRounds(n),
+		})
+	}
+	return out, nil
+}

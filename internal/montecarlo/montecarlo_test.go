@@ -1,0 +1,106 @@
+package montecarlo
+
+import (
+	"strings"
+	"testing"
+
+	"anondyn/internal/core"
+)
+
+func TestRandomScheduleRoundsBasic(t *testing.T) {
+	s, err := RandomScheduleRounds(20, 50, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 50 || s.Failures != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min < 1 || s.Max > 10 || s.Min > s.Max {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if s.Mean < float64(s.Min) || s.Mean > float64(s.Max) {
+		t.Fatalf("mean outside bounds: %+v", s)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestRandomScheduleRoundsDeterministic(t *testing.T) {
+	a, err := RandomScheduleRounds(10, 20, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomScheduleRounds(10, 20, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+func TestRandomScheduleRoundsErrors(t *testing.T) {
+	if _, err := RandomScheduleRounds(0, 5, 5, 1); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := RandomScheduleRounds(5, 0, 5, 1); err == nil {
+		t.Fatal("trials=0 should error")
+	}
+	if _, err := RandomScheduleRounds(5, 5, 0, 1); err == nil {
+		t.Fatal("horizon=0 should error")
+	}
+}
+
+// The study's thesis: random schedules resolve far below the worst case,
+// and the worst case equals the bound.
+func TestCompareAverageBelowWorstCase(t *testing.T) {
+	comps, err := Compare([]int{13, 40, 121}, 30, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		if c.WorstCase != c.LowerBound {
+			t.Fatalf("n=%d: worst case %d != bound %d", c.N, c.WorstCase, c.LowerBound)
+		}
+		if c.Average.Failures > 0 {
+			t.Fatalf("n=%d: %d failures", c.N, c.Average.Failures)
+		}
+		if c.Average.Mean > float64(c.WorstCase) {
+			t.Fatalf("n=%d: average %.2f exceeds worst case %d", c.N, c.Average.Mean, c.WorstCase)
+		}
+	}
+	// The average stays flat-ish while the worst case grows: at the
+	// largest size the gap must be visible.
+	last := comps[len(comps)-1]
+	if last.Average.P90 >= last.WorstCase {
+		t.Fatalf("n=%d: p90 %d not below worst case %d", last.N, last.Average.P90, last.WorstCase)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	s := summarize([]int{-1, -1})
+	if s.Failures != 2 || s.Trials != 2 || s.Min != 0 {
+		t.Fatalf("all-failure summary = %+v", s)
+	}
+	s2 := summarize([]int{3})
+	if s2.Mean != 3 || s2.P50 != 3 || s2.Min != 3 || s2.Max != 3 {
+		t.Fatalf("singleton summary = %+v", s2)
+	}
+	if !strings.Contains(s2.String(), "mean=3.00") {
+		t.Fatalf("String = %s", s2)
+	}
+}
+
+func TestWorstCaseIsActuallyWorst(t *testing.T) {
+	// No random trial at n=40 should ever need more rounds than the
+	// adversarial schedule.
+	s, err := RandomScheduleRounds(40, 100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := core.LowerBoundRounds(40)
+	if s.Max > bound {
+		t.Fatalf("a random schedule (%d rounds) beat the worst case (%d)???", s.Max, bound)
+	}
+}

@@ -1,0 +1,212 @@
+package multigraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionBasics(t *testing.T) {
+	a, err := Random(2, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(2, 5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.W() != 8 || u.Horizon() != 2 {
+		t.Fatalf("union dims: W=%d H=%d", u.W(), u.Horizon())
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	a, _ := Random(2, 2, 2, 1)
+	b3, _ := Random(3, 2, 2, 1)
+	bH, _ := Random(2, 2, 3, 1)
+	if _, err := Union(a, b3); err == nil {
+		t.Fatal("alphabet mismatch should error")
+	}
+	if _, err := Union(a, bH); err == nil {
+		t.Fatal("horizon mismatch should error")
+	}
+}
+
+// The additivity law: leader observations of a union are the pointwise sum
+// of the parts' observations — the structural fact behind linearity of the
+// paper's system of equations.
+func TestUnionObservationAdditivity(t *testing.T) {
+	f := func(seedA, seedB int64, rawW uint8) bool {
+		wa, wb := int(rawW%4)+1, int(rawW%3)+1
+		a, err := Random(2, wa, 3, seedA)
+		if err != nil {
+			return false
+		}
+		b, err := Random(2, wb, 3, seedB)
+		if err != nil {
+			return false
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < 3; r++ {
+			oa, err := a.LeaderObservation(r)
+			if err != nil {
+				return false
+			}
+			ob, err := b.LeaderObservation(r)
+			if err != nil {
+				return false
+			}
+			ou, err := u.LeaderObservation(r)
+			if err != nil {
+				return false
+			}
+			sum := make(Observation)
+			for k, v := range oa {
+				sum[k] += v
+			}
+			for k, v := range ob {
+				sum[k] += v
+			}
+			if len(sum) != len(ou) {
+				return false
+			}
+			for k, v := range sum {
+				if ou[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatStates(t *testing.T) {
+	a, err := New(2, [][]LabelSet{{SetOf(1)}, {SetOf(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(2, [][]LabelSet{{SetOf(1, 2)}, {SetOf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Horizon() != 2 || c.W() != 2 {
+		t.Fatalf("concat dims: W=%d H=%d", c.W(), c.Horizon())
+	}
+	s, err := c.StateOf(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(History{SetOf(1), SetOf(1, 2)}) {
+		t.Fatalf("state = %v", s)
+	}
+	// The concatenation agrees with a on its prefix.
+	va, _ := a.LeaderView(1)
+	vc, _ := c.LeaderView(1)
+	if !va.Equal(vc) {
+		t.Fatal("concat prefix view differs from a")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	a, _ := Random(2, 2, 1, 1)
+	b3, _ := Random(3, 2, 1, 1)
+	bW, _ := Random(2, 3, 1, 1)
+	if _, err := Concat(a, b3); err == nil {
+		t.Fatal("alphabet mismatch should error")
+	}
+	if _, err := Concat(a, bW); err == nil {
+		t.Fatal("node-count mismatch should error")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	m, err := Random(2, 4, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Horizon() != 3 || p.W() != 4 {
+		t.Fatalf("truncate dims: W=%d H=%d", p.W(), p.Horizon())
+	}
+	vm, _ := m.LeaderView(3)
+	vp, _ := p.LeaderView(3)
+	if !vm.Equal(vp) {
+		t.Fatal("truncated view differs from prefix")
+	}
+	if _, err := m.Truncate(9); err == nil {
+		t.Fatal("over-long truncate should error")
+	}
+}
+
+// Concat(Truncate(m, t), suffix) reconstructs m when the suffix matches —
+// a round-trip law tying the three operations together.
+func TestComposeRoundTripLaw(t *testing.T) {
+	m, err := Random(2, 3, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := m.Truncate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the tail manually.
+	tailRows := make([][]LabelSet, m.W())
+	for v := 0; v < m.W(); v++ {
+		for r := 2; r < 4; r++ {
+			ls, err := m.LabelsAt(v, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tailRows[v] = append(tailRows[v], ls)
+		}
+	}
+	tail, err := New(2, tailRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Concat(head, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := m.LeaderView(4)
+	vb, _ := back.LeaderView(4)
+	if !vm.Equal(vb) {
+		t.Fatal("concat(truncate, tail) != original")
+	}
+}
+
+func TestUnionEmptyParts(t *testing.T) {
+	empty, err := FromHistoryCounts(2, 2, make([]int, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Random(2, 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Union(empty, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := a.LeaderView(2)
+	vu, _ := u.LeaderView(2)
+	if !va.Equal(vu) {
+		t.Fatal("union with empty multigraph changed the view")
+	}
+}

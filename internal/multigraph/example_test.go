@@ -1,0 +1,75 @@
+package multigraph_test
+
+import (
+	"fmt"
+
+	"anondyn/internal/multigraph"
+)
+
+// Build the paper's Figure 3 multigraph M and inspect its leader state.
+func ExampleNew() {
+	m, err := multigraph.New(2, [][]multigraph.LabelSet{
+		{multigraph.SetOf(1, 2)},
+		{multigraph.SetOf(1, 2)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	view, err := m.LeaderView(1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(view.Canonical())
+	// Output: r0:(1,[])x2;(2,[])x2;|
+}
+
+// States follow Definition 6: S(v,r) lists the label sets seen through
+// round r-1, rendered with the implicit initial ⊥.
+func ExampleMultigraph_StateOf() {
+	m, err := multigraph.New(2, [][]multigraph.LabelSet{
+		{multigraph.SetOf(1), multigraph.SetOf(1, 2), multigraph.SetOf(2)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for r := 0; r <= 3; r++ {
+		s, err := m.StateOf(0, r)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Println(s)
+	}
+	// Output:
+	// [⊥]
+	// [⊥,{1}]
+	// [⊥,{1},{1,2}]
+	// [⊥,{1},{1,2},{2}]
+}
+
+// The Lemma 1 transformation realizes a multigraph as a 𝒢(PD)₂ dynamic
+// graph: leader, one relay per label, one node per W element.
+func ExampleMultigraph_ToPD2() {
+	m, err := multigraph.New(3, [][]multigraph.LabelSet{
+		{multigraph.SetOf(1, 2, 3)},
+		{multigraph.SetOf(1)},
+		{multigraph.SetOf(2, 3)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, layout, err := m.ToPD2()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(net.N(), layout.Leader, layout.V1, layout.V2)
+	fmt.Println(net.Snapshot(0))
+	// Output:
+	// 7 0 [1 2 3] [4 5 6]
+	// n=7 edges=[{0,1} {0,2} {0,3} {1,4} {1,5} {2,4} {2,6} {3,4} {3,6}]
+}

@@ -1,0 +1,152 @@
+package multigraph
+
+import "testing"
+
+func TestRelabelSwap(t *testing.T) {
+	m, err := New(2, [][]LabelSet{
+		{SetOf(1), SetOf(1, 2)},
+		{SetOf(2), SetOf(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := m.Relabel([]int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sw.LabelsAt(0, 0)
+	if got != SetOf(2) {
+		t.Fatalf("label after swap = %v, want {2}", got)
+	}
+	got, _ = sw.LabelsAt(0, 1)
+	if got != SetOf(1, 2) {
+		t.Fatalf("{1,2} should be fixed by swap, got %v", got)
+	}
+	got, _ = sw.LabelsAt(1, 0)
+	if got != SetOf(1) {
+		t.Fatalf("label after swap = %v, want {1}", got)
+	}
+	// Original untouched.
+	orig, _ := m.LabelsAt(0, 0)
+	if orig != SetOf(1) {
+		t.Fatal("Relabel mutated receiver")
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	m, err := Random(3, 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Relabel([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.LeaderView(3)
+	vb, _ := id.LeaderView(3)
+	if !va.Equal(vb) {
+		t.Fatal("identity relabeling changed the view")
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	m, err := Random(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]int{
+		{1},    // wrong length
+		{1, 1}, // not a permutation
+		{0, 1}, // out of range
+		{1, 3}, // out of range
+	}
+	for _, perm := range cases {
+		if _, err := m.Relabel(perm); err == nil {
+			t.Fatalf("Relabel(%v) should error", perm)
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	perms := Permutations(3)
+	if len(perms) != 6 {
+		t.Fatalf("got %d permutations of 3, want 6", len(perms))
+	}
+	seen := make(map[string]bool)
+	for _, p := range perms {
+		key := ""
+		for _, x := range p {
+			key += string(rune('0' + x))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[key] = true
+	}
+	if len(Permutations(1)) != 1 {
+		t.Fatal("Permutations(1) should have one entry")
+	}
+}
+
+func TestCanonicalUnderRelabeling(t *testing.T) {
+	// Two single-node multigraphs that differ only by swapping labels 1
+	// and 2 are indistinguishable to an anonymous leader.
+	a, err := New(2, [][]LabelSet{{SetOf(1), SetOf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(2, [][]LabelSet{{SetOf(2), SetOf(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.CanonicalUnderRelabeling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalUnderRelabeling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("relabel-equivalent views differ:\n%s\n%s", ca, cb)
+	}
+	// But the labeled views do differ.
+	va, _ := a.LeaderView(2)
+	vb, _ := b.LeaderView(2)
+	if va.Equal(vb) {
+		t.Fatal("labeled views should differ")
+	}
+}
+
+func TestCanonicalUnderRelabelingDistinguishes(t *testing.T) {
+	// {1},{2} histories vs {1},{1}: no relabeling makes these equal.
+	a, err := New(2, [][]LabelSet{{SetOf(1), SetOf(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(2, [][]LabelSet{{SetOf(1), SetOf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.CanonicalUnderRelabeling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalUnderRelabeling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca == cb {
+		t.Fatal("genuinely different views collapsed under relabeling")
+	}
+}
+
+func TestCanonicalUnderRelabelingBadRounds(t *testing.T) {
+	m, err := Random(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CanonicalUnderRelabeling(5); err == nil {
+		t.Fatal("rounds beyond horizon should error")
+	}
+}

@@ -1,0 +1,62 @@
+package multigraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a multigraph's schedule.
+type Stats struct {
+	// K is the label alphabet size.
+	K int
+	// W is the number of non-leader nodes.
+	W int
+	// Horizon is the number of scheduled rounds.
+	Horizon int
+	// Edges is the total number of (node, round, label) edges.
+	Edges int
+	// SymbolCounts[i] counts how often symbol i (canonical order) occurs
+	// across all nodes and rounds.
+	SymbolCounts []int
+	// DistinctHistories is the number of distinct full histories.
+	DistinctHistories int
+}
+
+// Stats computes summary statistics of the schedule.
+func (m *Multigraph) Stats() Stats {
+	s := Stats{
+		K:            m.k,
+		W:            len(m.labels),
+		Horizon:      m.horizon,
+		SymbolCounts: make([]int, SymbolCount(m.k)),
+	}
+	seen := make(map[string]bool)
+	for _, row := range m.labels {
+		for _, ls := range row {
+			s.Edges += ls.Size()
+			s.SymbolCounts[SymbolIndex(ls)]++
+		}
+		seen[History(row).Key()] = true
+	}
+	s.DistinctHistories = len(seen)
+	return s
+}
+
+// String renders the multigraph compactly, one node per line:
+// "v3: {1},{1,2},{2}".
+func (m *Multigraph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "M(DBL_%d) |W|=%d horizon=%d\n", m.k, len(m.labels), m.horizon)
+	for v, row := range m.labels {
+		fmt.Fprintf(&sb, "  v%d:", v)
+		for r, ls := range row {
+			if r > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(ls.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package multigraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	m, err := New(2, [][]LabelSet{
+		{SetOf(1), SetOf(1, 2)},
+		{SetOf(1), SetOf(1, 2)},
+		{SetOf(2), SetOf(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.K != 2 || s.W != 3 || s.Horizon != 2 {
+		t.Fatalf("stats dims = %+v", s)
+	}
+	// Edges: 1+2 + 1+2 + 1+1 = 8.
+	if s.Edges != 8 {
+		t.Fatalf("edges = %d, want 8", s.Edges)
+	}
+	// Symbols: {1} x3... rows: {1},{1,2}; {1},{1,2}; {2},{1} →
+	// {1}: 3, {2}: 1, {1,2}: 2.
+	if s.SymbolCounts[0] != 3 || s.SymbolCounts[1] != 1 || s.SymbolCounts[2] != 2 {
+		t.Fatalf("symbol counts = %v", s.SymbolCounts)
+	}
+	if s.DistinctHistories != 2 {
+		t.Fatalf("distinct histories = %d, want 2", s.DistinctHistories)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	m, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.W != 0 || s.Edges != 0 || s.DistinctHistories != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, err := New(2, [][]LabelSet{{SetOf(1), SetOf(1, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.String()
+	for _, want := range []string{"M(DBL_2) |W|=1 horizon=2", "v0: {1}, {1,2}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String missing %q:\n%s", want, out)
+		}
+	}
+}

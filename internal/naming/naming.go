@@ -1,0 +1,113 @@
+// Package naming makes the naming impossibility executable. Naming —
+// assigning distinct identifiers to all nodes — is the companion problem
+// to counting in [15, 16]. In the anonymous broadcast model it is
+// impossible whenever the adversary keeps two nodes *twinned*: nodes whose
+// label-set histories coincide receive identical inboxes in every round of
+// ANY deterministic protocol, so their states, and hence their chosen
+// names, stay equal forever. RunTwinWitness runs a protocol of the
+// caller's choice on the 𝒢(PD)₂ realization of a twinned schedule and
+// checks the twins' transcripts byte-for-byte.
+package naming
+
+import (
+	"fmt"
+
+	"anondyn/internal/multigraph"
+	"anondyn/internal/runtime"
+	"anondyn/internal/trace"
+)
+
+// TwinWitness reports the outcome of a twin run.
+type TwinWitness struct {
+	// TwinA and TwinB are the node indices (in the PD₂ network) of the
+	// twinned pair.
+	TwinA, TwinB int
+	// Rounds is the number of recorded rounds.
+	Rounds int
+	// TranscriptsEqual is true iff the twins saw identical inboxes in
+	// every round — which forces any deterministic protocol to give them
+	// identical outputs (no naming).
+	TranscriptsEqual bool
+}
+
+// RunTwinWitness builds a schedule in which nodes 0 and 1 of W share every
+// label set (twins), realizes it as a 𝒢(PD)₂ network, runs the given
+// process factory for `rounds` rounds under the recorder, and compares the
+// twins' transcripts. The factory is called once per node; any
+// deterministic protocol can be plugged in.
+func RunTwinWitness(extraNodes, rounds int, factory func(node int) runtime.Process) (*TwinWitness, error) {
+	if extraNodes < 0 {
+		return nil, fmt.Errorf("core: negative extraNodes %d", extraNodes)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("core: rounds must be >= 1, got %d", rounds)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("core: nil process factory")
+	}
+	// Twins follow an arbitrary non-constant schedule; extras differ.
+	twinRow := make([]multigraph.LabelSet, rounds)
+	for r := range twinRow {
+		switch r % 3 {
+		case 0:
+			twinRow[r] = multigraph.SetOf(1)
+		case 1:
+			twinRow[r] = multigraph.SetOf(1, 2)
+		default:
+			twinRow[r] = multigraph.SetOf(2)
+		}
+	}
+	labels := [][]multigraph.LabelSet{twinRow, append([]multigraph.LabelSet(nil), twinRow...)}
+	for i := 0; i < extraNodes; i++ {
+		row := make([]multigraph.LabelSet, rounds)
+		for r := range row {
+			if (r+i)%2 == 0 {
+				row[r] = multigraph.SetOf(2)
+			} else {
+				row[r] = multigraph.SetOf(1)
+			}
+		}
+		labels = append(labels, row)
+	}
+	m, err := multigraph.New(2, labels)
+	if err != nil {
+		return nil, err
+	}
+	net, layout, err := m.ToPD2()
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]runtime.Process, net.N())
+	for i := range procs {
+		procs[i] = factory(i)
+	}
+	cfg := &runtime.Config{
+		Net:       net,
+		Procs:     procs,
+		MaxRounds: rounds,
+	}
+	rec, wrapped, err := trace.NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runtime.RunSequential(wrapped); err != nil {
+		return nil, err
+	}
+	a, b := int(layout.V2[0]), int(layout.V2[1])
+	ta, err := rec.Trace().Transcript(a)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := rec.Trace().Transcript(b)
+	if err != nil {
+		return nil, err
+	}
+	eq := true
+	for r := 0; r < rounds; r++ {
+		if ta[r] != tb[r] {
+			eq = false
+			break
+		}
+	}
+	return &TwinWitness{TwinA: a, TwinB: b, Rounds: rounds, TranscriptsEqual: eq}, nil
+}

@@ -1,0 +1,81 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/runtime"
+)
+
+// namerProc is a deterministic "naming attempt": it folds everything it
+// hears into a running state string and would output that state as its
+// name. Twins must end with identical names.
+type namerProc struct {
+	state string
+}
+
+func (p *namerProc) Send(r int) runtime.Message {
+	return fmt.Sprintf("s%d:%s", r, p.state)
+}
+
+func (p *namerProc) Receive(r int, msgs []runtime.Message) {
+	for _, m := range msgs {
+		if s, ok := m.(string); ok {
+			p.state += "|" + s
+		}
+	}
+	p.state = fmt.Sprintf("h(%d,%d)", len(p.state), r) // fold to keep it short
+}
+
+func TestTwinWitnessTranscriptsIdentical(t *testing.T) {
+	for _, extras := range []int{0, 1, 4} {
+		w, err := RunTwinWitness(extras, 6, func(int) runtime.Process {
+			return &namerProc{}
+		})
+		if err != nil {
+			t.Fatalf("extras=%d: %v", extras, err)
+		}
+		if !w.TranscriptsEqual {
+			t.Fatalf("extras=%d: twins distinguished — naming would be possible", extras)
+		}
+		if w.TwinA == w.TwinB {
+			t.Fatalf("degenerate twins: %d", w.TwinA)
+		}
+	}
+}
+
+func TestTwinWitnessFinalStatesEqual(t *testing.T) {
+	// Beyond transcripts: the twins' actual process states coincide.
+	var procs []*namerProc
+	w, err := RunTwinWitness(3, 5, func(int) runtime.Process {
+		p := &namerProc{}
+		procs = append(procs, p)
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs[w.TwinA].state != procs[w.TwinB].state {
+		t.Fatalf("twin states differ: %q vs %q", procs[w.TwinA].state, procs[w.TwinB].state)
+	}
+	// A non-twin node generally diverges.
+	if len(procs) > w.TwinB+1 {
+		other := procs[len(procs)-1]
+		if other.state == procs[w.TwinA].state {
+			t.Log("note: non-twin coincidentally matched; acceptable but unusual")
+		}
+	}
+}
+
+func TestTwinWitnessErrors(t *testing.T) {
+	f := func(int) runtime.Process { return &namerProc{} }
+	if _, err := RunTwinWitness(-1, 3, f); err == nil {
+		t.Fatal("negative extras should error")
+	}
+	if _, err := RunTwinWitness(1, 0, f); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+	if _, err := RunTwinWitness(1, 3, nil); err == nil {
+		t.Fatal("nil factory should error")
+	}
+}

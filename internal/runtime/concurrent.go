@@ -1,0 +1,131 @@
+package runtime
+
+import (
+	"sync"
+
+	"anondyn/internal/graph"
+)
+
+// RunConcurrent executes the configured computation with one persistent
+// goroutine per process. Within each round the coordinator releases all node
+// goroutines into the send phase, waits at a barrier for every broadcast,
+// assembles and delivers the inboxes, releases the receive phase, and waits
+// again — exactly the synchronous semantics of the paper's model, realized
+// with channels. All goroutines are joined before RunConcurrent returns.
+//
+// Executions are identical to RunSequential's: the phases are fully
+// barrier-separated and delivery order is canonicalized, so the internal
+// scheduling of goroutines is unobservable.
+func RunConcurrent(cfg *Config) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	n := cfg.Net.N()
+	if n == 0 || cfg.MaxRounds == 0 {
+		return 0, nil
+	}
+
+	type roundWork struct {
+		round  int
+		degree int // -1 when the process is not DegreeAware
+	}
+	var (
+		outbox  = make([]Message, n)
+		inboxes [][]Message
+
+		start   = make([]chan roundWork, n)
+		deliver = make([]chan struct{}, n)
+		quit    = make(chan struct{})
+		sendWG  sync.WaitGroup
+		recvWG  sync.WaitGroup
+		nodeWG  sync.WaitGroup
+	)
+	for v := 0; v < n; v++ {
+		start[v] = make(chan roundWork, 1)
+		deliver[v] = make(chan struct{}, 1)
+	}
+
+	worker := func(v int) {
+		defer nodeWG.Done()
+		p := cfg.Procs[v]
+		da, degreeAware := p.(DegreeAware)
+		for work := range start[v] {
+			if degreeAware {
+				da.SetDegree(work.round, work.degree)
+			}
+			outbox[v] = p.Send(work.round)
+			sendWG.Done()
+			select {
+			case <-deliver[v]:
+			case <-quit:
+				// The coordinator aborted between the phases (e.g. the
+				// adaptive adversary returned an invalid topology).
+				return
+			}
+			p.Receive(work.round, inboxes[v])
+			recvWG.Done()
+		}
+	}
+	nodeWG.Add(n)
+	for v := 0; v < n; v++ {
+		go worker(v)
+	}
+	stopWorkers := func() {
+		for v := 0; v < n; v++ {
+			close(start[v])
+		}
+		nodeWG.Wait()
+	}
+	abortWorkers := func() {
+		close(quit)
+		stopWorkers()
+	}
+
+	for r := 0; r < cfg.MaxRounds; r++ {
+		var g *graph.Graph
+		if cfg.Adaptive == nil {
+			var err error
+			if g, err = cfg.topology(r, nil); err != nil {
+				stopWorkers()
+				return r, err
+			}
+		}
+		sendWG.Add(n)
+		for v := 0; v < n; v++ {
+			degree := -1
+			if _, ok := cfg.Procs[v].(DegreeAware); ok {
+				// validate() rejects DegreeAware + Adaptive, so g is set.
+				degree = g.Degree(graph.NodeID(v))
+			}
+			start[v] <- roundWork{round: r, degree: degree}
+		}
+		sendWG.Wait()
+		if cfg.Adaptive != nil {
+			// The omniscient adversary fixes the topology knowing the
+			// round's broadcasts.
+			var err error
+			if g, err = cfg.topology(r, outbox); err != nil {
+				// Workers are parked between phases: release them.
+				abortWorkers()
+				return r, err
+			}
+		}
+
+		inboxes = assembleInboxes(cfg, g, outbox)
+		recvWG.Add(n)
+		for v := 0; v < n; v++ {
+			deliver[v] <- struct{}{}
+		}
+		recvWG.Wait()
+
+		if cfg.OnRound != nil {
+			cfg.OnRound(r)
+		}
+		if cfg.Stop != nil && cfg.Stop(r) {
+			stopWorkers()
+			return r + 1, nil
+		}
+	}
+	stopWorkers()
+	return cfg.MaxRounds, nil
+}

@@ -1,0 +1,11 @@
+package runtime
+
+import "fmt"
+
+func errIndex(i, n int) error {
+	return fmt.Errorf("runtime: node index %d out of range [0,%d)", i, n)
+}
+
+func errNotOutputter(i int) error {
+	return fmt.Errorf("runtime: process at node %d does not implement Outputter", i)
+}

@@ -1,0 +1,43 @@
+package runtime
+
+import (
+	gort "runtime"
+	"testing"
+	"time"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+)
+
+// TestConcurrentEngineNoGoroutineLeak verifies that every node goroutine is
+// joined before RunConcurrent returns, on normal completion, early stop,
+// and abort paths.
+func TestConcurrentEngineNoGoroutineLeak(t *testing.T) {
+	baseline := gort.NumGoroutine()
+	runOnce := func(mutate func(c *Config)) {
+		procs := newFloodProcs(20, 0)
+		cfg := &Config{
+			Net:       dynet.NewStatic(graph.Complete(20)),
+			Procs:     procs,
+			MaxRounds: 10,
+		}
+		if mutate != nil {
+			mutate(cfg)
+		}
+		_, _ = RunConcurrent(cfg)
+	}
+	runOnce(nil)                                                         // normal completion
+	runOnce(func(c *Config) { c.Stop = func(int) bool { return true } }) // early stop
+	runOnce(func(c *Config) {                                            // abort mid-round
+		c.Adaptive = func(int, []Message) *graph.Graph { return nil }
+	})
+	// Allow exited goroutines to be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if gort.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d baseline", gort.NumGoroutine(), baseline)
+}

@@ -1,0 +1,168 @@
+// Package runtime executes synchronous round-based message-passing
+// computations over dynamic networks, implementing the paper's Section 3
+// model: every round has a send phase, in which each process broadcasts one
+// message to its current neighbors through an anonymous broadcast with
+// unlimited bandwidth, and a receive phase, in which it processes the
+// multiset of messages delivered by its neighbors.
+//
+// Two interchangeable engines are provided. The sequential engine runs all
+// processes in a deterministic loop. The concurrent engine runs one
+// goroutine per process, with channel-based barriers separating the phases —
+// goroutines map one-to-one onto the paper's processes. Tests cross-check
+// that both engines produce identical executions.
+//
+// Anonymity is enforced structurally: a process is given only the multiset
+// of messages it received, in an order canonicalized by the message
+// encoding, never the identity of a sender.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+)
+
+// Message is an opaque broadcast payload. The model's bandwidth is
+// unlimited, so messages may be arbitrarily large values.
+type Message any
+
+// Process is one node's protocol logic. The engine calls Send in the send
+// phase of every round and Receive in the receive phase with the multiset
+// of messages broadcast by the node's current neighbors. Per the model, a
+// process does not learn its degree |N(v,r)| until the receive phase —
+// unless it opts in to the degree-oracle extension (see DegreeAware).
+//
+// Implementations must be deterministic: the lower bound assumes the
+// adversary controls any randomness.
+type Process interface {
+	// Send returns the message to broadcast at round r.
+	Send(r int) Message
+	// Receive delivers the canonical-order multiset of neighbor messages
+	// for round r.
+	Receive(r int, msgs []Message)
+}
+
+// DegreeAware is the optional degree-oracle extension from the paper's
+// Discussion (the model of [13]): a process implementing it is told its
+// degree for round r before its Send(r) is requested. This single bit of
+// extra knowledge collapses the counting lower bound to O(1) in restricted
+// G(PD)_2 networks.
+type DegreeAware interface {
+	SetDegree(r, degree int)
+}
+
+// Outputter is implemented by processes (typically the leader) that
+// eventually produce a terminal output, such as the network count.
+type Outputter interface {
+	// Output returns the process's output value and whether the process
+	// has terminated with that output.
+	Output() (int, bool)
+}
+
+// Canonicalizer converts a message to a canonical string used to sort each
+// inbox, making delivery deterministic without leaking sender identity.
+type Canonicalizer func(Message) string
+
+// DefaultCanon formats the message with %#v. Protocol packages usually
+// provide a cheaper, collision-free encoding of their own message type.
+func DefaultCanon(m Message) string { return fmt.Sprintf("%#v", m) }
+
+// Config describes an execution: a dynamic network, one process per node,
+// and the run controls.
+type Config struct {
+	// Net supplies the per-round topology (and the node count).
+	Net dynet.Dynamic
+	// Adaptive, if non-nil, overrides Net's snapshots: at each round the
+	// adversary chooses the topology after inspecting the round's
+	// broadcasts — the paper's omniscient worst-case adversary, which
+	// "has access to nodes' local variables" (for deterministic
+	// protocols, the broadcasts determine the states, and broadcasts are
+	// composed before the topology is known). The returned graph must
+	// have Net.N() nodes. Adaptive cannot be combined with DegreeAware
+	// processes: the degree oracle needs the topology before the send
+	// phase, which an adaptive adversary fixes only after it.
+	Adaptive func(r int, outbox []Message) *graph.Graph
+	// Procs holds one Process per node; Procs[i] runs at node i.
+	Procs []Process
+	// Canon canonicalizes messages for deterministic delivery order.
+	// Nil means DefaultCanon.
+	Canon Canonicalizer
+	// MaxRounds bounds the execution length.
+	MaxRounds int
+	// Stop, if non-nil, is evaluated after each round's receive phase;
+	// returning true ends the run after that round.
+	Stop func(completedRound int) bool
+	// OnRound, if non-nil, is invoked after each round completes, for
+	// tracing.
+	OnRound func(completedRound int)
+}
+
+// topology returns the round's graph, honoring the adaptive adversary.
+// outbox is the round's broadcasts; it is ignored for oblivious networks.
+func (c *Config) topology(r int, outbox []Message) (*graph.Graph, error) {
+	if c.Adaptive == nil {
+		return c.Net.Snapshot(r), nil
+	}
+	g := c.Adaptive(r, outbox)
+	if g == nil {
+		return nil, fmt.Errorf("runtime: adaptive adversary returned nil graph at round %d", r)
+	}
+	if g.N() != c.Net.N() {
+		return nil, fmt.Errorf("runtime: adaptive adversary returned %d nodes at round %d, want %d",
+			g.N(), r, c.Net.N())
+	}
+	return g, nil
+}
+
+func (c *Config) validate() error {
+	if c.Net == nil {
+		return errors.New("runtime: nil network")
+	}
+	if len(c.Procs) != c.Net.N() {
+		return fmt.Errorf("runtime: %d processes for %d nodes", len(c.Procs), c.Net.N())
+	}
+	for i, p := range c.Procs {
+		if p == nil {
+			return fmt.Errorf("runtime: nil process at node %d", i)
+		}
+		if c.Adaptive != nil {
+			if _, ok := p.(DegreeAware); ok {
+				return fmt.Errorf("runtime: process at node %d is DegreeAware, incompatible with an adaptive adversary", i)
+			}
+		}
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("runtime: negative MaxRounds %d", c.MaxRounds)
+	}
+	return nil
+}
+
+func (c *Config) canon() Canonicalizer {
+	if c.Canon != nil {
+		return c.Canon
+	}
+	return DefaultCanon
+}
+
+// assembleInboxes groups the round's broadcasts by receiver and sorts each
+// inbox canonically. outbox[i] is the message node i broadcast on graph g.
+func assembleInboxes(cfg *Config, g *graph.Graph, outbox []Message) [][]Message {
+	n := g.N()
+	canon := cfg.canon()
+	inboxes := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(graph.NodeID(v))
+		in := make([]Message, len(nb))
+		for i, u := range nb {
+			in[i] = outbox[u]
+		}
+		sort.SliceStable(in, func(a, b int) bool {
+			return canon(in[a]) < canon(in[b])
+		})
+		inboxes[v] = in
+	}
+	return inboxes
+}

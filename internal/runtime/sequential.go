@@ -1,0 +1,86 @@
+package runtime
+
+import "anondyn/internal/graph"
+
+// RunSequential executes the configured computation in a single goroutine,
+// processing nodes in ascending order within each phase. It returns the
+// number of completed rounds. The run ends when Stop returns true or
+// MaxRounds rounds have completed, whichever is first.
+//
+// RunSequential and RunConcurrent implement the same semantics; the
+// sequential engine is the reference implementation and is fully
+// deterministic.
+func RunSequential(cfg *Config) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	n := cfg.Net.N()
+	outbox := make([]Message, n)
+	for r := 0; r < cfg.MaxRounds; r++ {
+		var g *graph.Graph
+		if cfg.Adaptive == nil {
+			var err error
+			if g, err = cfg.topology(r, nil); err != nil {
+				return r, err
+			}
+			// Degree oracle (Discussion model): degree known before Send.
+			for v := 0; v < n; v++ {
+				if da, ok := cfg.Procs[v].(DegreeAware); ok {
+					da.SetDegree(r, g.Degree(graph.NodeID(v)))
+				}
+			}
+		}
+		// Send phase.
+		for v := 0; v < n; v++ {
+			outbox[v] = cfg.Procs[v].Send(r)
+		}
+		if cfg.Adaptive != nil {
+			// The omniscient adversary fixes the topology knowing the
+			// round's broadcasts.
+			var err error
+			if g, err = cfg.topology(r, outbox); err != nil {
+				return r, err
+			}
+		}
+		// Receive phase.
+		inboxes := assembleInboxes(cfg, g, outbox)
+		for v := 0; v < n; v++ {
+			cfg.Procs[v].Receive(r, inboxes[v])
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(r)
+		}
+		if cfg.Stop != nil && cfg.Stop(r) {
+			return r + 1, nil
+		}
+	}
+	return cfg.MaxRounds, nil
+}
+
+// RunUntilOutput runs the computation with the given engine until the
+// process at node `leader` reports a terminal output via the Outputter
+// interface, or maxRounds elapse. It returns the output value and the number
+// of rounds used. If the leader never terminates, ok is false.
+func RunUntilOutput(cfg *Config, leader int, run func(*Config) (int, error)) (value, rounds int, ok bool, err error) {
+	if leader < 0 || leader >= len(cfg.Procs) {
+		return 0, 0, false, errIndex(leader, len(cfg.Procs))
+	}
+	out, isOut := cfg.Procs[leader].(Outputter)
+	if !isOut {
+		return 0, 0, false, errNotOutputter(leader)
+	}
+	inner := *cfg
+	inner.Stop = func(r int) bool {
+		if cfg.Stop != nil && cfg.Stop(r) {
+			return true
+		}
+		_, done := out.Output()
+		return done
+	}
+	rounds, err = run(&inner)
+	if err != nil {
+		return 0, rounds, false, err
+	}
+	value, ok = out.Output()
+	return value, rounds, ok, nil
+}

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzFromJSON exercises the trace parser with arbitrary bytes: it must
+// never panic, and accepted traces must re-serialize and re-parse stably.
+func FuzzFromJSON(f *testing.F) {
+	f.Add([]byte(`{"n":2,"rounds":[]}`))
+	f.Add([]byte(`{"n":1,"rounds":[{"edges":[],"sent":["x"],"inbox":[[]]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := FromJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := tr.ToJSON()
+		if err != nil {
+			t.Fatalf("re-serialize accepted trace: %v", err)
+		}
+		tr2, err := FromJSON(out)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if tr2.N != tr.N || len(tr2.Rounds) != len(tr.Rounds) {
+			t.Fatalf("unstable round trip: %+v vs %+v", tr, tr2)
+		}
+	})
+}
