@@ -7,7 +7,11 @@
 //   - internal/graph, internal/dynet: graphs, dynamic graphs, flooding,
 //     dynamic diameter, persistent-distance classes 𝒢(PD)_h;
 //   - internal/runtime: synchronous anonymous-broadcast execution engines
-//     (sequential and goroutine-per-node);
+//     (sequential and goroutine-per-node), both context-aware: a run can be
+//     canceled between rounds via RunSequentialCtx/RunConcurrentCtx, bounded
+//     per round with Config.RoundDeadline, and a panicking process is
+//     isolated and surfaced as a *ProcessPanicError instead of crashing the
+//     program;
 //   - internal/multigraph: the ℳ(DBL)ₖ dynamic bipartite labeled
 //     multigraphs and the Lemma 1 transformation to 𝒢(PD)₂;
 //   - internal/linalg, internal/kernel: the exact linear algebra behind
@@ -31,6 +35,7 @@ import (
 	"anondyn/internal/dynet"
 	"anondyn/internal/kernel"
 	"anondyn/internal/multigraph"
+	"anondyn/internal/runtime"
 )
 
 // Re-exported types: see the originating packages for full documentation.
@@ -50,6 +55,11 @@ type (
 	Interval = kernel.Interval
 	// WorstCaseNetwork is the worst-case 𝒢(PD)₂ network for a given size.
 	WorstCaseNetwork = core.WorstCaseNetwork
+	// ProcessPanicError reports a process that panicked during a run; the
+	// engines recover it, abort the run, and return it instead of crashing.
+	ProcessPanicError = runtime.ProcessPanicError
+	// RoundDeadlineError reports a round that exceeded Config.RoundDeadline.
+	RoundDeadlineError = runtime.RoundDeadlineError
 )
 
 // LowerBoundRounds returns the exact counting lower bound for a network of

@@ -10,6 +10,7 @@
 package anondyn_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -349,7 +350,7 @@ func BenchmarkEngines(b *testing.B) {
 // iteration — the end-to-end cost of re-verifying the whole paper.
 func BenchmarkExperimentSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunAll()
+		rows, err := experiments.RunAll(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,15 +13,20 @@
 //	anondyn -algo unconscious -n 40            # conscious vs unconscious [12]
 //	anondyn -bound -n 123456                   # print the Theorem 1 bound
 //	anondyn -pair -n 13                        # show the adversarial pair
+//
+// The run context is canceled on SIGINT/SIGTERM or when -timeout elapses;
+// engine-backed algorithms then stop at the next round boundary. Exit
+// codes: 0 success, 1 usage error, 2 runtime failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 
 	"anondyn/internal/chainnet"
+	"anondyn/internal/cli"
 	"anondyn/internal/core"
 	"anondyn/internal/counting"
 	"anondyn/internal/dynet"
@@ -30,13 +35,10 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "anondyn:", err)
-		os.Exit(1)
-	}
+	cli.Main("anondyn", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("anondyn", flag.ContinueOnError)
 	algo := fs.String("algo", "", "counting algorithm: leaderstate | oracle | star | pushsum | chain | upperbound")
 	n := fs.Int("n", 13, "number of counted nodes (|W| for PD2 algorithms, |V| for star)")
@@ -45,15 +47,18 @@ func run(args []string, out io.Writer) error {
 	bound := fs.Bool("bound", false, "print the exact Theorem 1 bound for -n and exit")
 	pair := fs.Bool("pair", false, "construct and describe the adversarial pair for -n and exit")
 	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-node engine")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	if *n < 1 {
-		return fmt.Errorf("-n must be >= 1, got %d", *n)
+		return cli.Usagef("-n must be >= 1, got %d", *n)
 	}
-	engine := runtime.RunSequential
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	engine := runtime.SequentialEngine(ctx)
 	if *concurrent {
-		engine = runtime.RunConcurrent
+		engine = runtime.ConcurrentEngine(ctx)
 	}
 	switch {
 	case *bound:
@@ -79,9 +84,9 @@ func run(args []string, out io.Writer) error {
 	case "unconscious":
 		return runUnconscious(out, *n)
 	case "":
-		return fmt.Errorf("one of -algo, -bound, -pair is required")
+		return cli.Usagef("one of -algo, -bound, -pair is required")
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return cli.Usagef("unknown algorithm %q", *algo)
 	}
 }
 

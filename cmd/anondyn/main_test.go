@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"anondyn/internal/cli"
 )
 
 // capture runs the CLI's run() with stdout redirected to a temp file and
@@ -16,7 +19,7 @@ func capture(t *testing.T, args []string) (string, error) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runErr := run(args, f)
+	runErr := run(context.Background(), args, f)
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -129,9 +132,33 @@ func TestErrorsAndUsage(t *testing.T) {
 		{"-badflag"},                 // flag parse error
 	}
 	for _, args := range cases {
-		if _, err := capture(t, args); err == nil {
+		_, err := capture(t, args)
+		if err == nil {
 			t.Fatalf("args %v should error", args)
 		}
+		if got := cli.ExitCode(err); got != cli.ExitUsage {
+			t.Fatalf("args %v: exit code %d, want %d (usage)", args, got, cli.ExitUsage)
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, err := capture(t, []string{"-h"})
+	if got := cli.ExitCode(err); got != cli.ExitSuccess {
+		t.Fatalf("-h: exit code %d (err %v), want 0", got, err)
+	}
+}
+
+func TestCanceledRunIsRuntimeFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-algo", "star", "-n", "5"}, &sb)
+	if err == nil {
+		t.Fatal("canceled context should abort the run")
+	}
+	if got := cli.ExitCode(err); got != cli.ExitRuntime {
+		t.Fatalf("canceled run: exit code %d (err %v), want %d", got, err, cli.ExitRuntime)
 	}
 }
 

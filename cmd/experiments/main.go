@@ -5,32 +5,38 @@
 //
 // Usage:
 //
-//	experiments [-id F1,T2,...]
+//	experiments [-id F1,T2,...] [-timeout 30s]
+//
+// The suite honors SIGINT/SIGTERM and -timeout: an interrupted run prints
+// the rows completed so far and reports the interruption as a runtime
+// failure. Exit codes: 0 success, 1 usage error, 2 runtime failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
+	"anondyn/internal/cli"
 	"anondyn/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	cli.Main("experiments", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	idFilter := fs.String("id", "", "comma-separated experiment IDs to run (default: all)")
+	timeout := fs.Duration("timeout", 0, "abort the suite after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	wanted := map[string]bool{}
 	if *idFilter != "" {
 		for _, id := range strings.Split(*idFilter, ",") {
@@ -38,20 +44,46 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	var rows []experiments.Row
+	var interrupted error
+	matched := 0
 	for _, r := range experiments.All() {
 		if len(wanted) > 0 && !wanted[r.ID] {
 			continue
 		}
-		got, err := r.Fn()
+		matched++
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			break
+		}
+		got, err := r.Fn(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The interrupted experiment's partial work is dropped;
+				// completed experiments are still reported below.
+				interrupted = err
+				break
+			}
 			return fmt.Errorf("run %s: %w", r.ID, err)
 		}
 		rows = append(rows, got...)
 	}
-	if len(rows) == 0 {
-		return fmt.Errorf("no experiments matched filter %q", *idFilter)
+	if matched == 0 {
+		return cli.Usagef("no experiments matched filter %q", *idFilter)
 	}
-	fmt.Fprint(out, experiments.FormatTable(rows))
+	if len(rows) > 0 {
+		fmt.Fprint(out, experiments.FormatTable(rows))
+	}
+	if interrupted != nil {
+		var cause string
+		switch {
+		case errors.Is(interrupted, context.DeadlineExceeded):
+			cause = fmt.Sprintf("timeout %v elapsed", *timeout)
+		default:
+			cause = "interrupted"
+		}
+		fmt.Fprintf(out, "\npartial result: %d rows completed before the suite stopped (%s).\n", len(rows), cause)
+		return fmt.Errorf("suite stopped early after %d rows: %w", len(rows), interrupted)
+	}
 	if !experiments.AllMatch(rows) {
 		return fmt.Errorf("some measurements disagree with the paper")
 	}

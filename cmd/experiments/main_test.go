@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunFiltered(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-id", "F3,f4"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-id", "F3,f4"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,14 +25,14 @@ func TestRunFiltered(t *testing.T) {
 
 func TestRunUnknownFilter(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-id", "ZZ"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-id", "ZZ"}, &sb); err == nil {
 		t.Fatal("unknown ID should error")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &sb); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }

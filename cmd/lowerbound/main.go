@@ -5,44 +5,51 @@
 //
 // Usage:
 //
-//	lowerbound [-max 1000] [-verify] [-all]
+//	lowerbound [-max 1000] [-verify] [-all] [-timeout 30s]
+//
+// The table honors SIGINT/SIGTERM and -timeout, stopping between sizes.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
 // By default only the kernel-threshold sizes (3^t - 1)/2 and their
 // neighbors are printed; -all prints every size up to -max.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 
+	"anondyn/internal/cli"
 	"anondyn/internal/core"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "lowerbound:", err)
-		os.Exit(1)
-	}
+	cli.Main("lowerbound", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
 	maxN := fs.Int("max", 1000, "largest size to tabulate")
 	verify := fs.Bool("verify", false, "construct and verify the adversarial pair for each printed size")
 	all := fs.Bool("all", false, "print every size, not just the threshold neighborhood")
 	csv := fs.Bool("csv", false, "emit the series as CSV (n,indistinguishable_rounds,count_bound)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	if *maxN < 1 {
-		return fmt.Errorf("-max must be >= 1, got %d", *maxN)
+		return cli.Usagef("-max must be >= 1, got %d", *maxN)
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	sizes := selectSizes(*maxN, *all)
 	if *csv {
 		fmt.Fprintln(out, "n,indistinguishable_rounds,count_bound")
 		for _, n := range sizes {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("stopped before n=%d: %w", n, err)
+			}
 			fmt.Fprintf(out, "%d,%d,%d\n", n, core.MaxIndistinguishableRounds(n), core.LowerBoundRounds(n))
 		}
 		return nil
@@ -53,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	for _, n := range sizes {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped before n=%d: %w", n, err)
+		}
 		t := core.MaxIndistinguishableRounds(n)
 		fmt.Fprintf(out, "%8d  %22d  %16d", n, t, core.LowerBoundRounds(n))
 		if *verify {

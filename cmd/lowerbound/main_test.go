@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestTableThresholds(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-max", "121"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-max", "121"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -21,7 +22,7 @@ func TestTableThresholds(t *testing.T) {
 
 func TestTableVerify(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-max", "41", "-verify"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-max", "41", "-verify"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -35,7 +36,7 @@ func TestTableVerify(t *testing.T) {
 
 func TestTableAll(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-max", "10", "-all"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-max", "10", "-all"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	// Header plus exactly 10 rows.
@@ -47,10 +48,10 @@ func TestTableAll(t *testing.T) {
 
 func TestBadArgs(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-max", "0"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-max", "0"}, &sb); err == nil {
 		t.Fatal("max=0 should error")
 	}
-	if err := run([]string{"-zzz"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-zzz"}, &sb); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }
@@ -74,7 +75,7 @@ func TestSelectSizesDedup(t *testing.T) {
 
 func TestCSVOutput(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-max", "13", "-csv"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-max", "13", "-csv"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -5,39 +5,44 @@
 //
 // Usage:
 //
-//	render -dir docs/figures
+//	render -dir docs/figures [-timeout 30s]
+//
+// Rendering honors SIGINT/SIGTERM and -timeout, stopping between files.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
 // Render the .dot files with `dot -Tpng f1_round0.dot -o f1_round0.png`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"anondyn/internal/cli"
 	"anondyn/internal/figures"
 	"anondyn/internal/multigraph"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "render:", err)
-		os.Exit(1)
-	}
+	cli.Main("render", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("render", flag.ContinueOnError)
 	dir := fs.String("dir", "figures", "output directory for .dot files")
+	timeout := fs.Duration("timeout", 0, "abort rendering after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	files, err := renderAll(*dir)
+	files, err := renderAll(ctx, *dir)
 	if err != nil {
 		return err
 	}
@@ -47,9 +52,12 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func renderAll(dir string) ([]string, error) {
+func renderAll(ctx context.Context, dir string) ([]string, error) {
 	var files []string
 	write := func(name, dot string) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped before writing %s: %w", name, err)
+		}
 		path := filepath.Join(dir, name)
 		if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
 			return err

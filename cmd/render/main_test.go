@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func TestRenderAll(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-dir", dir}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-dir", dir}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -49,10 +50,10 @@ func TestRenderBadDir(t *testing.T) {
 	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-dir", filepath.Join(tmp, "sub")}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-dir", filepath.Join(tmp, "sub")}, &sb); err == nil {
 		t.Fatal("unusable directory should error")
 	}
-	if err := run([]string{"-nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &sb); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }

@@ -6,46 +6,50 @@
 //
 // Usage:
 //
-//	study [-sizes 13,40,121,364] [-trials 100] [-horizon 10] [-seed 1] [-csv]
+//	study [-sizes 13,40,121,364] [-trials 100] [-horizon 10] [-seed 1] [-csv] [-timeout 1m]
+//
+// The study honors SIGINT/SIGTERM and -timeout, stopping between trials.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
+	"anondyn/internal/cli"
 	"anondyn/internal/montecarlo"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "study:", err)
-		os.Exit(1)
-	}
+	cli.Main("study", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("study", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "13,40,121,364", "comma-separated network sizes")
 	trials := fs.Int("trials", 100, "random schedules per size")
 	horizon := fs.Int("horizon", 10, "rounds per trial")
 	seed := fs.Int64("seed", 1, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	timeout := fs.Duration("timeout", 0, "abort the study after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	var sizes []int
 	for _, part := range strings.Split(*sizesFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return fmt.Errorf("bad size %q: %w", part, err)
+			return cli.Usagef("bad size %q: %v", part, err)
 		}
 		sizes = append(sizes, n)
 	}
-	comps, err := montecarlo.Compare(sizes, *trials, *horizon, *seed)
+	comps, err := montecarlo.Compare(ctx, sizes, *trials, *horizon, *seed)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestStudyTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-sizes", "13,40", "-trials", "10", "-horizon", "8"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-sizes", "13,40", "-trials", "10", "-horizon", "8"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -21,7 +22,7 @@ func TestStudyTable(t *testing.T) {
 
 func TestStudyCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-sizes", "13", "-trials", "5", "-horizon", "8", "-csv"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-sizes", "13", "-trials", "5", "-horizon", "8", "-csv"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -40,7 +41,7 @@ func TestStudyErrors(t *testing.T) {
 		{"-sizes", "13", "-trials", "0"},
 		{"-badflag"},
 	} {
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Fatalf("args %v should error", args)
 		}
 	}

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	tracedump -n 13 -chain 2 [-o trace.json] [-twin]
+//	tracedump -n 13 -chain 2 [-o trace.json] [-twin] [-timeout 30s]
+//
+// Recording honors SIGINT/SIGTERM and -timeout.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
 // With -twin the network runs the size-(n+1) twin schedule M' instead; the
 // leader transcript is byte-identical through the indistinguishability
@@ -13,37 +16,42 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"anondyn/internal/chainnet"
+	"anondyn/internal/cli"
 	"anondyn/internal/core"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tracedump:", err)
-		os.Exit(1)
-	}
+	cli.Main("tracedump", run)
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
 	n := fs.Int("n", 13, "number of counted nodes")
 	chainLen := fs.Int("chain", 0, "static chain length")
 	outPath := fs.String("o", "", "output file (default: stdout)")
 	twin := fs.Bool("twin", false, "run the size-(n+1) twin schedule M' instead of M")
 	rounds := fs.Int("rounds", 0, "rounds to record (default: the indistinguishability horizon)")
+	timeout := fs.Duration("timeout", 0, "abort recording after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	if *n < 1 {
-		return fmt.Errorf("-n must be >= 1, got %d", *n)
+		return cli.Usagef("-n must be >= 1, got %d", *n)
 	}
 	if *chainLen < 0 {
-		return fmt.Errorf("-chain must be >= 0, got %d", *chainLen)
+		return cli.Usagef("-chain must be >= 0, got %d", *chainLen)
+	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	pair, err := core.WorstCasePair(*n)
 	if err != nil {

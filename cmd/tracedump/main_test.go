@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestDumpToStdout(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-n", "4", "-chain", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-n", "4", "-chain", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.FromJSON([]byte(sb.String()))
@@ -31,10 +32,10 @@ func TestDumpToFileAndTwinIndistinguishable(t *testing.T) {
 	pathM := filepath.Join(dir, "m.json")
 	pathT := filepath.Join(dir, "t.json")
 	var sb strings.Builder
-	if err := run([]string{"-n", "13", "-o", pathM}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-n", "13", "-o", pathM}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "13", "-twin", "-o", pathT}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-n", "13", "-twin", "-o", pathT}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "wrote") {
@@ -69,7 +70,7 @@ func TestDumpToFileAndTwinIndistinguishable(t *testing.T) {
 
 func TestDumpCustomRounds(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-n", "4", "-rounds", "5"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-n", "4", "-rounds", "5"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.FromJSON([]byte(sb.String()))
@@ -88,7 +89,7 @@ func TestDumpErrors(t *testing.T) {
 		{"-chain", "-1"},
 		{"-bogus"},
 	} {
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Fatalf("args %v should error", args)
 		}
 	}

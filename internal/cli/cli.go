@@ -1,0 +1,92 @@
+// Package cli holds the conventions shared by the anondyn command-line
+// binaries: a run context wired to SIGINT/SIGTERM, the -timeout flag
+// semantics, and the common exit-code discipline — 0 for success, 1 for a
+// usage error (bad flags or arguments), 2 for a runtime failure (an
+// execution, verification, or I/O error after a well-formed invocation) —
+// with all diagnostics printed to stderr and results to stdout.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by every binary in cmd/.
+const (
+	ExitSuccess = 0
+	ExitUsage   = 1
+	ExitRuntime = 2
+)
+
+// UsageError marks an error as a bad invocation, mapping it to ExitUsage.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError from a format string.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// WrapUsage marks err as a usage error. nil and flag.ErrHelp (which must
+// keep exiting 0, since -h is a successful invocation) pass through
+// unchanged, so it can wrap a flag.FlagSet.Parse result directly.
+func WrapUsage(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return &UsageError{Err: err}
+}
+
+// IsUsage reports whether err is marked as a usage error.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// ExitCode maps a command run function's error to the exit-code convention.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return ExitSuccess
+	case IsUsage(err):
+		return ExitUsage
+	default:
+		return ExitRuntime
+	}
+}
+
+// WithTimeout derives the run context from the -timeout flag value: a
+// nonpositive duration means no time limit. The returned cancel function
+// must always be called.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Main runs a binary's run function under the shared conventions: the
+// context is canceled on SIGINT/SIGTERM (so a second signal kills the
+// process with Go's default behavior), errors are reported on stderr
+// prefixed with the binary name, and the process exits with ExitCode(err).
+// It does not return.
+func Main(name string, run func(ctx context.Context, args []string, out io.Writer) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	os.Exit(ExitCode(err))
+}

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestExitCodeConvention(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, ExitSuccess},
+		{"help is success", flag.ErrHelp, ExitSuccess},
+		{"wrapped help is success", fmt.Errorf("parse: %w", flag.ErrHelp), ExitSuccess},
+		{"usage", Usagef("-n must be >= 1, got %d", 0), ExitUsage},
+		{"wrapped usage", fmt.Errorf("outer: %w", Usagef("bad")), ExitUsage},
+		{"runtime failure", errors.New("verification failed"), ExitRuntime},
+		{"canceled run is a runtime failure", context.Canceled, ExitRuntime},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestWrapUsage(t *testing.T) {
+	if WrapUsage(nil) != nil {
+		t.Fatal("WrapUsage(nil) should stay nil")
+	}
+	if err := WrapUsage(flag.ErrHelp); !errors.Is(err, flag.ErrHelp) || IsUsage(err) {
+		t.Fatalf("WrapUsage(ErrHelp) = %v, should pass through unmarked", err)
+	}
+	base := errors.New("unknown flag")
+	err := WrapUsage(base)
+	if !IsUsage(err) || !errors.Is(err, base) {
+		t.Fatalf("WrapUsage(%v) = %v, want a UsageError wrapping it", base, err)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("nonpositive timeout must not set a deadline")
+	}
+	ctx2, cancel2 := WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Fatal("positive timeout must set a deadline")
+	}
+	ctx3, cancel3 := WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel3()
+	select {
+	case <-ctx3.Done():
+	case <-time.After(time.Second):
+		t.Fatal("tiny timeout never expired")
+	}
+	if !errors.Is(ctx3.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx err = %v", ctx3.Err())
+	}
+}

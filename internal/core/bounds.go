@@ -6,24 +6,37 @@
 // algorithm whose termination round matches the bound exactly.
 package core
 
-import "math/big"
+import (
+	"math"
+	"math/big"
+)
 
 // MaxIndistinguishableRounds returns the largest number of completed rounds
 // T(n) for which the worst-case adversary can keep two ℳ(DBL)₂ multigraphs
 // of sizes n and n+1 indistinguishable to the leader: the largest T with
 // Σ⁻k_{T-1} = (3^T - 1)/2 ≤ n, i.e. T(n) = ⌊log₃(2n+1)⌋ (Lemma 5 in
 // completed-round form). For n = 0 it returns 0: a lone leader hears
-// silence and knows it immediately.
+// silence and knows it immediately. The result is exact for every int n,
+// including n near math.MaxInt.
 func MaxIndistinguishableRounds(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	// Largest T with 3^T <= 2n+1.
+	// Largest T with 3^T <= 2n+1. Since 3^T is odd, that is equivalent to
+	// the threshold form (3^T - 1)/2 <= n, which never needs the 2n+1
+	// intermediate (2n+1 wraps for n > (MaxInt-1)/2). The thresholds obey
+	// s(T+1) = 3*s(T) + 1, and the loop keeps s <= n, so s itself cannot
+	// overflow; the explicit guard stops before the one multiplication
+	// that would.
 	t := 0
-	pow := 1
-	for pow*3 <= 2*n+1 {
-		pow *= 3
+	s := 1 // s = (3^(t+1) - 1)/2, the threshold for sustaining t+1 rounds
+	for s <= n {
 		t++
+		if s > (math.MaxInt-1)/3 {
+			// The next threshold exceeds MaxInt >= n: no further rounds.
+			break
+		}
+		s = 3*s + 1
 	}
 	return t
 }
@@ -38,16 +51,23 @@ func LowerBoundRounds(n int) int {
 
 // MinSizeForRounds is the inverse of MaxIndistinguishableRounds: the least
 // network size n for which the adversary can sustain indistinguishability
-// for T completed rounds, namely Σ⁻k_{T-1} = (3^T - 1)/2.
+// for T completed rounds, namely Σ⁻k_{T-1} = (3^T - 1)/2. When the exact
+// threshold exceeds math.MaxInt (t > MaxIndistinguishableRounds(MaxInt))
+// the result saturates at math.MaxInt, so the invariant
+// MinSizeForRounds(t) <= n ⇔ MaxIndistinguishableRounds(n) >= t holds for
+// every representable n.
 func MinSizeForRounds(t int) int {
 	if t <= 0 {
 		return 0
 	}
-	pow := 1
-	for i := 0; i < t; i++ {
-		pow *= 3
+	s := 1 // s = (3^i - 1)/2 after i iterations, via s(i+1) = 3*s(i) + 1
+	for i := 1; i < t; i++ {
+		if s > (math.MaxInt-1)/3 {
+			return math.MaxInt
+		}
+		s = 3*s + 1
 	}
-	return (pow - 1) / 2
+	return s
 }
 
 // LowerBoundRoundsBig is LowerBoundRounds for arbitrarily large sizes.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/big"
 	"testing"
 	"testing/quick"
@@ -98,6 +99,68 @@ func TestChainLowerBoundRounds(t *testing.T) {
 	}
 	if got := ChainLowerBoundRounds(4, -1); got != LowerBoundRounds(4) {
 		t.Fatalf("negative delay should clamp to 0, got %d", got)
+	}
+}
+
+// TestMaxIndistinguishableRoundsHugeSizes is the overflow regression test:
+// the old implementation compared pow*3 <= 2*n+1 in native int, which wraps
+// for n > MaxInt/2 (and for pow near MaxInt), silently truncating the loop.
+// The exact big-integer bound is the oracle.
+func TestMaxIndistinguishableRoundsHugeSizes(t *testing.T) {
+	sizes := []int{
+		math.MaxInt/2 - 2,
+		math.MaxInt/2 - 1,
+		math.MaxInt / 2, // first size where 2n+1 wraps
+		math.MaxInt/2 + 1,
+		math.MaxInt/2 + 2,
+		math.MaxInt - 1,
+		math.MaxInt,
+	}
+	// Also pin every threshold neighborhood representable in int.
+	for tt := 1; ; tt++ {
+		th := MinSizeForRounds(tt)
+		if th == math.MaxInt {
+			break
+		}
+		sizes = append(sizes, th-1, th, th+1)
+	}
+	for _, n := range sizes {
+		want := new(big.Int).Sub(LowerBoundRoundsBig(big.NewInt(int64(n))), big.NewInt(1))
+		if got := MaxIndistinguishableRounds(n); int64(got) != want.Int64() {
+			t.Errorf("MaxIndistinguishableRounds(%d) = %d, want %s", n, got, want)
+		}
+	}
+}
+
+// TestMinSizeForRoundsSaturates verifies the inverse saturates cleanly
+// instead of wrapping: beyond the largest representable threshold it
+// returns MaxInt, preserving MinSizeForRounds(t) <= n ⇔
+// MaxIndistinguishableRounds(n) >= t for all int n.
+func TestMinSizeForRoundsSaturates(t *testing.T) {
+	tMax := MaxIndistinguishableRounds(math.MaxInt)
+	last := MinSizeForRounds(tMax)
+	if last == math.MaxInt || last <= 0 {
+		t.Fatalf("threshold for t=%d should be exact, got %d", tMax, last)
+	}
+	if got := MinSizeForRounds(tMax + 1); got != math.MaxInt {
+		t.Fatalf("MinSizeForRounds(%d) = %d, want saturation at MaxInt", tMax+1, got)
+	}
+	if got := MinSizeForRounds(10_000); got != math.MaxInt {
+		t.Fatalf("MinSizeForRounds(10000) = %d, want saturation at MaxInt", got)
+	}
+	// The exact thresholds must still match the closed form (3^t-1)/2.
+	pow := big.NewInt(1)
+	three := big.NewInt(3)
+	for tt := 1; tt <= tMax; tt++ {
+		pow.Mul(pow, three)
+		want := new(big.Int).Sub(pow, big.NewInt(1))
+		want.Rsh(want, 1)
+		if !want.IsInt64() && math.MaxInt == math.MaxInt64 {
+			t.Fatalf("threshold for t=%d unexpectedly exceeds int64", tt)
+		}
+		if got := MinSizeForRounds(tt); int64(got) != want.Int64() {
+			t.Errorf("MinSizeForRounds(%d) = %d, want %s", tt, got, want)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,8 +14,8 @@ import (
 // schedule ever exceeds the worst case, which is also a correctness check
 // on the bound (beyond it, Σ⁻k_r > n forces uniqueness for every
 // schedule).
-func AverageCase() ([]Row, error) {
-	comps, err := montecarlo.Compare([]int{13, 40, 121, 364}, 40, 10, 99)
+func AverageCase(ctx context.Context) ([]Row, error) {
+	comps, err := montecarlo.Compare(ctx, []int{13, 40, 121, 364}, 40, 10, 99)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,10 +17,13 @@ import (
 // counts within the dynamic-diameter order (flood + one silent round),
 // while the anonymous network pays the Ω(log |V|) surcharge. The measured
 // difference IS the cost of anonymity.
-func BaselineIDs() ([]Row, error) {
+func BaselineIDs(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{4, 13, 40, 121} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wc, err := core.WorstCaseAdversary(n)
 		if err != nil {
 			return nil, err
@@ -29,7 +33,7 @@ func BaselineIDs() ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		idCount, idRounds, err := counting.IDCount(wc.Net, wc.Layout.Leader, 10*d+10, runtime.RunSequential)
+		idCount, idRounds, err := counting.IDCount(wc.Net, wc.Layout.Leader, 10*d+10, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -67,21 +71,24 @@ func BaselineIDs() ([]Row, error) {
 // bandwidth finishes in O(D). Bandwidth and anonymity are independent axes
 // of hardness; the paper's bound isolates the anonymity axis by making
 // bandwidth unlimited.
-func BaselineBandwidth() ([]Row, error) {
+func BaselineBandwidth(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	prev := 0
 	for _, n := range []int{8, 16, 32, 64} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		star, err := graph.Star(n, 1)
 		if err != nil {
 			return nil, err
 		}
 		net := dynet.NewStatic(star)
-		_, unl, err := counting.IDCount(net, 0, 50, runtime.RunSequential)
+		_, unl, err := counting.IDCount(net, 0, 50, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}
-		lim, err := counting.LimitedIDCount(net, 0, 1, 100*n, runtime.RunSequential)
+		lim, err := counting.LimitedIDCount(net, 0, 1, 100*n, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -115,10 +122,13 @@ func BaselineBandwidth() ([]Row, error) {
 // degree-bounded upper bounds) with this paper's exact machinery: the
 // baseline is sound (never below the true size) but loose, while the
 // leader-state counter is exact.
-func BaselineUpperBound() ([]Row, error) {
+func BaselineUpperBound(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, outer := range []int{5, 20, 80} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net, _, v2 := restrictedPD2(2, outer)
 		truth := 1 + 2 + len(v2)
 		maxDeg := 0
@@ -130,7 +140,7 @@ func BaselineUpperBound() ([]Row, error) {
 				}
 			}
 		}
-		res, err := counting.UpperBoundCount(net, 0, maxDeg, 8, runtime.RunSequential)
+		res, err := counting.UpperBoundCount(net, 0, maxDeg, 8, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}

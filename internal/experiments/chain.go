@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,18 +15,21 @@ import (
 // the worst-case schedule, all executing the full-information protocol on
 // the synchronous engine. The leader's measured termination round must be
 // exactly (chain delay) + ⌊log₃(2n+1)⌋ + 1.
-func Corollary1EndToEnd() ([]Row, error) {
+func Corollary1EndToEnd(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, tc := range []struct{ n, chainLen int }{
 		{4, 0}, {4, 2}, {13, 3}, {40, 5}, {121, 8},
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nw, err := chainnet.Build(tc.n, tc.chainLen)
 		if err != nil {
 			return nil, err
 		}
 		bound := core.LowerBoundRounds(tc.n)
-		res, err := chainnet.RunCount(nw, bound+nw.Delay()+5, runtime.RunSequential)
+		res, err := chainnet.RunCount(nw, bound+nw.Delay()+5, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}

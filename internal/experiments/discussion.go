@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,12 +45,15 @@ func restrictedPD2(k, outer int) (dynet.Dynamic, []graph.NodeID, []graph.NodeID)
 
 // Discussion measures the degree-oracle algorithm: constant rounds across
 // sizes, versus the growing anonymous lower bound for the same sizes.
-func Discussion() ([]Row, error) {
+func Discussion(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, outer := range []int{3, 9, 27, 81, 243} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net, v1, v2 := restrictedPD2(2, outer)
-		count, rounds, err := counting.OracleCount(net, 0, v1, v2, runtime.RunSequential)
+		count, rounds, err := counting.OracleCount(net, 0, v1, v2, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -75,13 +79,16 @@ func Discussion() ([]Row, error) {
 // Gap runs the headline comparison on the same worst-case networks:
 // flooding (information dissemination) completes within the dynamic
 // diameter, while exact counting needs the extra Ω(log n) anonymity rounds.
-func Gap() ([]Row, error) {
+func Gap(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	maxD := 0
 	var countSeries []int
 	sizes := []int{4, 13, 40, 121, 364}
 	for _, n := range sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wc, err := core.WorstCaseAdversary(n)
 		if err != nil {
 			return nil, err
@@ -95,7 +102,7 @@ func Gap() ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		fl, err := dissemination.Run(wc.Net, initial, dissemination.Unlimited, 200, runtime.RunSequential)
+		fl, err := dissemination.Run(wc.Net, initial, dissemination.Unlimited, 200, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +148,10 @@ func Gap() ([]Row, error) {
 // AblationK3 repeats the indistinguishability construction inside ℳ(DBL)₃
 // (ℳ(DBL)₂ ⊆ ℳ(DBL)ₖ) and checks that larger alphabets only make counting
 // harder: the kernel of M_r grows with k.
-func AblationK3() ([]Row, error) {
+func AblationK3(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Kernel dimensions for k=3 exceed 1 already at r=0.
 	m3, err := kernel.Matrix(0, 3)
 	if err != nil {
@@ -213,15 +223,18 @@ func AblationK3() ([]Row, error) {
 // AblationStar confirms the h = 1 boundary: on 𝒢(PD)₁ stars the count is
 // exact after one round at every size — anonymity costs nothing at
 // persistent distance 1.
-func AblationStar() ([]Row, error) {
+func AblationStar(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{2, 5, 20, 100, 500} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		star, err := graph.Star(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		count, rounds, err := counting.StarCount(dynet.NewStatic(star), 0, runtime.RunSequential)
+		count, rounds, err := counting.StarCount(dynet.NewStatic(star), 0, runtime.SequentialEngine(ctx))
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -32,10 +33,12 @@ type Row struct {
 	Match bool
 }
 
-// Runner is a named experiment entry point.
+// Runner is a named experiment entry point. Fn honors its context:
+// cancellation between (and, for engine-backed experiments, within)
+// workload sweeps aborts the experiment with the context's error.
 type Runner struct {
 	ID string
-	Fn func() ([]Row, error)
+	Fn func(context.Context) ([]Row, error)
 }
 
 // All lists every experiment in presentation order.
@@ -68,10 +71,15 @@ func All() []Runner {
 }
 
 // RunAll executes every experiment and returns the concatenated rows.
-func RunAll() ([]Row, error) {
+// A canceled context aborts the suite between experiments; rows produced
+// so far are discarded and the context's error is returned.
+func RunAll(ctx context.Context) ([]Row, error) {
 	var rows []Row
 	for _, r := range All() {
-		got, err := r.Fn()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment suite canceled before %s: %w", r.ID, err)
+		}
+		got, err := r.Fn(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", r.ID, err)
 		}

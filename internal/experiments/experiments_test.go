@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestEveryExperimentMatches(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			rows, err := r.Fn()
+			rows, err := r.Fn(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -34,7 +36,7 @@ func TestEveryExperimentMatches(t *testing.T) {
 }
 
 func TestRunAllAndFormat(t *testing.T) {
-	rows, err := RunAll()
+	rows, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,5 +66,24 @@ func TestFormatTableMarksMismatch(t *testing.T) {
 	}
 	if AllMatch(rows) {
 		t.Fatal("AllMatch true on mismatch")
+	}
+}
+
+// TestCanceledContextAbortsExperiments verifies every experiment and the
+// suite runner honor a canceled context instead of running the workload.
+func TestCanceledContextAbortsExperiments(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll on canceled context: %v, want context.Canceled", err)
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rows, err := r.Fn(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s on canceled context returned (%d rows, %v), want context.Canceled", r.ID, len(rows), err)
+			}
+		})
 	}
 }

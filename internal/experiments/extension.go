@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,10 +15,13 @@ import (
 // wrong branch at every symmetric point) and still counts at exactly the
 // labeled bound. The Ω(log |V|) cost is charged by the anonymity of the
 // counted nodes, not of the relay layer.
-func ExtensionAnonymousRelays() ([]Row, error) {
+func ExtensionAnonymousRelays(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{1, 4, 13, 40, 121} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pair, err := core.WorstCasePair(n)
 		if err != nil {
 			return nil, err

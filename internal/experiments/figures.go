@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"anondyn/internal/dynet"
@@ -11,7 +12,10 @@ import (
 // Figure1 re-executes the Figure 1 caption: a 𝒢(PD)₂ graph over three
 // rounds with dynamic diameter 4, where a flood from v₀ at round 0 reaches
 // v₃ at round 3.
-func Figure1() ([]Row, error) {
+func Figure1(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := figures.NewFigure1()
 	if err != nil {
 		return nil, err
@@ -50,7 +54,10 @@ func Figure1() ([]Row, error) {
 // Figure2 re-executes the Figure 2 transformation: the ℳ(DBL₃) instance
 // maps onto a 𝒢(PD)₂ graph with label-j relays adjacent exactly to the
 // nodes carrying label j, and the transformation loses no information.
-func Figure2() ([]Row, error) {
+func Figure2(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := figures.NewFigure2()
 	if err != nil {
 		return nil, err
@@ -83,7 +90,10 @@ func Figure2() ([]Row, error) {
 
 // Figure3 re-executes Figure 3: sizes 2 and 4 indistinguishable at round 0,
 // related by 2k₀, with the count interval after one round spanning [2,4].
-func Figure3() ([]Row, error) {
+func Figure3(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := figures.NewFigure3()
 	if err != nil {
 		return nil, err
@@ -112,7 +122,10 @@ func Figure3() ([]Row, error) {
 
 // Figure4 re-executes Figure 4: the printed s₁ and s₁′ = s₁ + k₁ of sizes 4
 // and 5 give identical views through two rounds.
-func Figure4() ([]Row, error) {
+func Figure4(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := figures.NewFigure4()
 	if err != nil {
 		return nil, err

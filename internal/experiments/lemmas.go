@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -8,7 +9,10 @@ import (
 )
 
 // Lemma2 verifies dim ker(M_r) = 1 by exact elimination for r = 0..3.
-func Lemma2() ([]Row, error) {
+func Lemma2(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	maxR := 3
 	ok := true
 	detail := ""
@@ -35,7 +39,10 @@ func Lemma2() ([]Row, error) {
 
 // Lemma3 verifies the kernel recursion k_r = [k_{r-1} k_{r-1} -k_{r-1}]ᵀ and
 // that the closed form spans the eliminated kernel.
-func Lemma3() ([]Row, error) {
+func Lemma3(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ok := true
 	for r := 1; r <= 6; r++ {
 		prev := kernel.ClosedFormKernel(r - 1)
@@ -92,7 +99,10 @@ func Lemma3() ([]Row, error) {
 
 // Lemma4 verifies Σk_r = 1 and Σ⁻k_r = ½(3^{r+1}+1) − 1 against the
 // explicit vectors (r ≤ 8) and in closed form beyond.
-func Lemma4() ([]Row, error) {
+func Lemma4(ctx context.Context) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ok := true
 	for r := 0; r <= 8; r++ {
 		k := kernel.ClosedFormKernel(r)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,10 +12,13 @@ import (
 // builds on: the dynamic diameter D is a property of the adversary, not of
 // the snapshots. The flood-delaying adversary keeps every snapshot at
 // diameter ≤ 3 yet stretches a flood to n−1 rounds.
-func AblationAdversary() ([]Row, error) {
+func AblationAdversary(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{4, 10, 25, 50} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fd, err := dynet.NewFloodDelaying(n, 0)
 		if err != nil {
 			return nil, err

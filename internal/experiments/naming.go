@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,10 +32,13 @@ func (p *foldProc) Receive(r int, msgs []runtime.Message) {
 // NamingImpossibility runs the twin witness: the adversary twins two
 // nodes, and any deterministic protocol gives them identical transcripts —
 // so no naming algorithm can assign them distinct identifiers.
-func NamingImpossibility() ([]Row, error) {
+func NamingImpossibility(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, extras := range []int{0, 2, 6} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := naming.RunTwinWitness(extras, 8, func(int) runtime.Process {
 			return &foldProc{}
 		})

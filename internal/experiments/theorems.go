@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,9 +18,12 @@ func theorem1Sizes() []int {
 // verifies indistinguishability through exactly ⌊log₃(2n+1)⌋ completed
 // rounds, and verifies that the extended pair diverges exactly one round
 // later.
-func Theorem1() ([]Row, error) {
+func Theorem1(ctx context.Context) ([]Row, error) {
 	var bad []string
 	for _, n := range theorem1Sizes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		want := core.MaxIndistinguishableRounds(n)
 		pair, err := core.WorstCasePair(n)
 		if err != nil {
@@ -58,10 +62,13 @@ func Theorem1() ([]Row, error) {
 // Theorem2 measures the leader-state counter on worst-case schedules: the
 // observed termination round must equal the exact bound for every size —
 // showing simultaneously that the bound is unbeatable and achievable.
-func Theorem2() ([]Row, error) {
+func Theorem2(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range theorem1Sizes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n > 1100 {
 			// The counter enumerates 3^rounds leaf states; cap the sweep
 			// where the dense walk stays sub-second.
@@ -92,10 +99,13 @@ func Theorem2() ([]Row, error) {
 
 // Corollary1 measures the chain composition: counting rounds equal
 // delay + ⌊log₃(2n+1)⌋ + 1 = (D - 2) + Ω(log n) for every grid point.
-func Corollary1() ([]Row, error) {
+func Corollary1(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{4, 13, 40, 121} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, delay := range []int{0, 1, 3, 8} {
 			res, err := core.ChainCountRounds(n, delay)
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,10 +13,13 @@ import (
 // minimum stabilizes on the truth before the conscious counter may
 // terminate, while a guesser tracking the maximum is fooled by the
 // adversary's size-(n+1) twin until the very collapse round.
-func ConsciousVsUnconscious() ([]Row, error) {
+func ConsciousVsUnconscious(ctx context.Context) ([]Row, error) {
 	var bad []string
 	var series []string
 	for _, n := range []int{4, 13, 40, 121} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pair, err := core.WorstCasePair(n)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -74,8 +75,9 @@ func summarize(rounds []int) Summary {
 // RandomScheduleRounds measures the leader-state counter on `trials`
 // uniformly random ℳ(DBL)₂ schedules of size n, each run for up to
 // `horizon` rounds. Seeds derive deterministically from baseSeed, so the
-// study is reproducible.
-func RandomScheduleRounds(n, trials, horizon int, baseSeed int64) (Summary, error) {
+// study is reproducible. The context is checked between trials: a canceled
+// study stops promptly and returns the context's error.
+func RandomScheduleRounds(ctx context.Context, n, trials, horizon int, baseSeed int64) (Summary, error) {
 	if n < 1 {
 		return Summary{}, fmt.Errorf("montecarlo: need n >= 1, got %d", n)
 	}
@@ -87,6 +89,9 @@ func RandomScheduleRounds(n, trials, horizon int, baseSeed int64) (Summary, erro
 	}
 	rounds := make([]int, trials)
 	for i := 0; i < trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return Summary{}, fmt.Errorf("montecarlo: canceled after %d/%d trials: %w", i, trials, err)
+		}
 		m, err := multigraph.Random(2, n, horizon, baseSeed+int64(i))
 		if err != nil {
 			return Summary{}, err
@@ -113,11 +118,12 @@ type Comparison struct {
 }
 
 // Compare runs the Monte-Carlo study for each size and pairs it with the
-// measured worst case and the theoretical bound.
-func Compare(sizes []int, trials, horizon int, baseSeed int64) ([]Comparison, error) {
+// measured worst case and the theoretical bound. The context is checked
+// between trials and between sizes.
+func Compare(ctx context.Context, sizes []int, trials, horizon int, baseSeed int64) ([]Comparison, error) {
 	out := make([]Comparison, 0, len(sizes))
 	for _, n := range sizes {
-		avg, err := RandomScheduleRounds(n, trials, horizon, baseSeed)
+		avg, err := RandomScheduleRounds(ctx, n, trials, horizon, baseSeed)
 		if err != nil {
 			return nil, fmt.Errorf("montecarlo: size %d: %w", n, err)
 		}

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestRandomScheduleRoundsBasic(t *testing.T) {
-	s, err := RandomScheduleRounds(20, 50, 10, 1)
+	s, err := RandomScheduleRounds(context.Background(), 20, 50, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,11 +28,11 @@ func TestRandomScheduleRoundsBasic(t *testing.T) {
 }
 
 func TestRandomScheduleRoundsDeterministic(t *testing.T) {
-	a, err := RandomScheduleRounds(10, 20, 8, 42)
+	a, err := RandomScheduleRounds(context.Background(), 10, 20, 8, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RandomScheduleRounds(10, 20, 8, 42)
+	b, err := RandomScheduleRounds(context.Background(), 10, 20, 8, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,13 +42,13 @@ func TestRandomScheduleRoundsDeterministic(t *testing.T) {
 }
 
 func TestRandomScheduleRoundsErrors(t *testing.T) {
-	if _, err := RandomScheduleRounds(0, 5, 5, 1); err == nil {
+	if _, err := RandomScheduleRounds(context.Background(), 0, 5, 5, 1); err == nil {
 		t.Fatal("n=0 should error")
 	}
-	if _, err := RandomScheduleRounds(5, 0, 5, 1); err == nil {
+	if _, err := RandomScheduleRounds(context.Background(), 5, 0, 5, 1); err == nil {
 		t.Fatal("trials=0 should error")
 	}
-	if _, err := RandomScheduleRounds(5, 5, 0, 1); err == nil {
+	if _, err := RandomScheduleRounds(context.Background(), 5, 5, 0, 1); err == nil {
 		t.Fatal("horizon=0 should error")
 	}
 }
@@ -55,7 +56,7 @@ func TestRandomScheduleRoundsErrors(t *testing.T) {
 // The study's thesis: random schedules resolve far below the worst case,
 // and the worst case equals the bound.
 func TestCompareAverageBelowWorstCase(t *testing.T) {
-	comps, err := Compare([]int{13, 40, 121}, 30, 10, 7)
+	comps, err := Compare(context.Background(), []int{13, 40, 121}, 30, 10, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSummarizeEdgeCases(t *testing.T) {
 func TestWorstCaseIsActuallyWorst(t *testing.T) {
 	// No random trial at n=40 should ever need more rounds than the
 	// adversarial schedule.
-	s, err := RandomScheduleRounds(40, 100, 10, 3)
+	s, err := RandomScheduleRounds(context.Background(), 40, 100, 10, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

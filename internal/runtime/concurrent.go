@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"anondyn/internal/graph"
 )
@@ -11,12 +14,30 @@ import (
 // goroutines into the send phase, waits at a barrier for every broadcast,
 // assembles and delivers the inboxes, releases the receive phase, and waits
 // again — exactly the synchronous semantics of the paper's model, realized
-// with channels. All goroutines are joined before RunConcurrent returns.
+// with channels. All goroutines are joined before RunConcurrent returns, on
+// every path: normal completion, early stop, error, cancellation, deadline
+// overrun, and process panic.
 //
 // Executions are identical to RunSequential's: the phases are fully
 // barrier-separated and delivery order is canonicalized, so the internal
-// scheduling of goroutines is unobservable.
+// scheduling of goroutines is unobservable. RunConcurrent is
+// RunConcurrentCtx over context.Background().
 func RunConcurrent(cfg *Config) (int, error) {
+	return RunConcurrentCtx(context.Background(), cfg)
+}
+
+// RunConcurrentCtx is RunConcurrent under a context. Cancellation is
+// observed at the top of every round, at the phase barriers, and between
+// the send and receive phases, so a canceled run returns within one round
+// (plus the time any in-flight protocol call needs to return). If
+// Config.RoundDeadline is positive, a round that overruns it aborts the run
+// with a *RoundDeadlineError. A panic in any process goroutine cancels the
+// run, drains all sibling goroutines, and is surfaced as a
+// *ProcessPanicError; the harness never crashes on a panicking protocol.
+//
+// For the same schedule, RunConcurrentCtx and RunSequentialCtx return the
+// same round count and the same error.
+func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
@@ -36,9 +57,13 @@ func RunConcurrent(cfg *Config) (int, error) {
 		start   = make([]chan roundWork, n)
 		deliver = make([]chan struct{}, n)
 		quit    = make(chan struct{})
-		sendWG  sync.WaitGroup
-		recvWG  sync.WaitGroup
-		nodeWG  sync.WaitGroup
+		// phaseDone carries one token per worker per completed phase. The
+		// capacity covers a full phase, so workers never block on it even
+		// when the coordinator aborts a barrier early.
+		phaseDone = make(chan struct{}, n)
+		// panics carries at most one entry per worker.
+		panics = make(chan *ProcessPanicError, n)
+		nodeWG sync.WaitGroup
 	)
 	for v := 0; v < n; v++ {
 		start[v] = make(chan roundWork, 1)
@@ -47,23 +72,34 @@ func RunConcurrent(cfg *Config) (int, error) {
 
 	worker := func(v int) {
 		defer nodeWG.Done()
+		round := 0
+		defer func() {
+			if rec := recover(); rec != nil {
+				// A panicking worker reports instead of its phase token;
+				// the coordinator's barrier picks the report up, aborts the
+				// round, and releases everyone else.
+				panics <- &ProcessPanicError{Node: v, Round: round, Value: rec, Stack: debug.Stack()}
+			}
+		}()
 		p := cfg.Procs[v]
 		da, degreeAware := p.(DegreeAware)
 		for work := range start[v] {
+			round = work.round
 			if degreeAware {
 				da.SetDegree(work.round, work.degree)
 			}
 			outbox[v] = p.Send(work.round)
-			sendWG.Done()
+			phaseDone <- struct{}{}
 			select {
 			case <-deliver[v]:
 			case <-quit:
-				// The coordinator aborted between the phases (e.g. the
-				// adaptive adversary returned an invalid topology).
+				// The coordinator aborted between the phases: an invalid
+				// adaptive topology, cancellation, a deadline overrun, or a
+				// sibling's panic.
 				return
 			}
 			p.Receive(work.round, inboxes[v])
-			recvWG.Done()
+			phaseDone <- struct{}{}
 		}
 	}
 	nodeWG.Add(n)
@@ -82,15 +118,69 @@ func RunConcurrent(cfg *Config) (int, error) {
 	}
 
 	for r := 0; r < cfg.MaxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			abortWorkers()
+			return r, canceled(r, err)
+		}
+		var (
+			roundTimer *time.Timer
+			deadlineC  <-chan time.Time
+		)
+		if cfg.RoundDeadline > 0 {
+			roundTimer = time.NewTimer(cfg.RoundDeadline)
+			deadlineC = roundTimer.C
+		}
+		// barrier collects one phase token per worker, or aborts the round
+		// on a worker panic, context cancellation, or the round deadline.
+		// Available tokens are drained before the abort conditions are
+		// consulted, so an abort that races a completed phase resolves the
+		// same way the sequential engine's between-phase checks do.
+		barrier := func() error {
+			for i := 0; i < n; i++ {
+				select {
+				case <-phaseDone:
+					continue
+				default:
+				}
+				select {
+				case <-phaseDone:
+				case p := <-panics:
+					return p
+				case <-ctx.Done():
+					return canceled(r, ctx.Err())
+				case <-deadlineC:
+					return &RoundDeadlineError{Round: r, Limit: cfg.RoundDeadline}
+				}
+			}
+			// A panic reported this phase wins over the phase tokens the
+			// other workers produced, matching the sequential engine.
+			select {
+			case p := <-panics:
+				return p
+			default:
+				return nil
+			}
+		}
+		fail := func(err error) (int, error) {
+			if roundTimer != nil {
+				roundTimer.Stop()
+			}
+			abortWorkers()
+			return r, err
+		}
+
 		var g *graph.Graph
 		if cfg.Adaptive == nil {
 			var err error
 			if g, err = cfg.topology(r, nil); err != nil {
+				if roundTimer != nil {
+					roundTimer.Stop()
+				}
+				// Workers are idle between rounds: a plain join suffices.
 				stopWorkers()
 				return r, err
 			}
 		}
-		sendWG.Add(n)
 		for v := 0; v < n; v++ {
 			degree := -1
 			if _, ok := cfg.Procs[v].(DegreeAware); ok {
@@ -99,25 +189,39 @@ func RunConcurrent(cfg *Config) (int, error) {
 			}
 			start[v] <- roundWork{round: r, degree: degree}
 		}
-		sendWG.Wait()
+		if err := barrier(); err != nil {
+			return fail(err)
+		}
+		if err := ctx.Err(); err != nil {
+			return fail(canceled(r, err))
+		}
 		if cfg.Adaptive != nil {
 			// The omniscient adversary fixes the topology knowing the
 			// round's broadcasts.
 			var err error
 			if g, err = cfg.topology(r, outbox); err != nil {
-				// Workers are parked between phases: release them.
-				abortWorkers()
-				return r, err
+				// Workers are parked between the phases: release them.
+				return fail(err)
 			}
 		}
 
 		inboxes = assembleInboxes(cfg, g, outbox)
-		recvWG.Add(n)
 		for v := 0; v < n; v++ {
 			deliver[v] <- struct{}{}
 		}
-		recvWG.Wait()
-
+		if err := barrier(); err != nil {
+			return fail(err)
+		}
+		if err := ctx.Err(); err != nil {
+			return fail(canceled(r, err))
+		}
+		if roundTimer != nil {
+			if !roundTimer.Stop() {
+				// The deadline elapsed while the barriers were already
+				// satisfied: the round still overran its budget.
+				return fail(&RoundDeadlineError{Round: r, Limit: cfg.RoundDeadline})
+			}
+		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(r)
 		}

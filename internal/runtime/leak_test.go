@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	gort "runtime"
 	"testing"
 	"time"
@@ -9,12 +10,14 @@ import (
 	"anondyn/internal/graph"
 )
 
-// TestConcurrentEngineNoGoroutineLeak verifies that every node goroutine is
-// joined before RunConcurrent returns, on normal completion, early stop,
-// and abort paths.
-func TestConcurrentEngineNoGoroutineLeak(t *testing.T) {
+// TestNoGoroutineLeak verifies that every node goroutine is joined before
+// RunConcurrent returns, on normal completion, early stop, and every abort
+// path: an adversary that errors at round 0, an adversary that returns a
+// malformed graph mid-run, a panicking process, a canceled context, and a
+// round-deadline overrun.
+func TestNoGoroutineLeak(t *testing.T) {
 	baseline := gort.NumGoroutine()
-	runOnce := func(mutate func(c *Config)) {
+	runOnce := func(ctx context.Context, mutate func(c *Config)) {
 		procs := newFloodProcs(20, 0)
 		cfg := &Config{
 			Net:       dynet.NewStatic(graph.Complete(20)),
@@ -24,12 +27,47 @@ func TestConcurrentEngineNoGoroutineLeak(t *testing.T) {
 		if mutate != nil {
 			mutate(cfg)
 		}
-		_, _ = RunConcurrent(cfg)
+		_, _ = RunConcurrentCtx(ctx, cfg)
 	}
-	runOnce(nil)                                                         // normal completion
-	runOnce(func(c *Config) { c.Stop = func(int) bool { return true } }) // early stop
-	runOnce(func(c *Config) {                                            // abort mid-round
+	bg := context.Background()
+	runOnce(bg, nil)                                                         // normal completion
+	runOnce(bg, func(c *Config) { c.Stop = func(int) bool { return true } }) // early stop
+	runOnce(bg, func(c *Config) {                                            // abort at round 0: nil topology
 		c.Adaptive = func(int, []Message) *graph.Graph { return nil }
+	})
+	runOnce(bg, func(c *Config) { // error-injecting adversary: malformed graph mid-run
+		c.Adaptive = func(r int, _ []Message) *graph.Graph {
+			if r == 3 {
+				return graph.New(7) // wrong node count
+			}
+			return graph.Complete(20)
+		}
+	})
+	runOnce(bg, func(c *Config) { // process panic mid-run
+		c.Procs[11] = &hookProc{inner: c.Procs[11], onSend: func(r int) {
+			if r == 2 {
+				panic("leak-test panic")
+			}
+		}}
+	})
+	{ // cancellation mid-run
+		ctx, cancel := context.WithCancel(bg)
+		runOnce(ctx, func(c *Config) {
+			c.Procs[0] = &hookProc{inner: c.Procs[0], onReceive: func(r int) {
+				if r == 1 {
+					cancel()
+				}
+			}}
+		})
+		cancel()
+	}
+	runOnce(bg, func(c *Config) { // round-deadline overrun
+		c.RoundDeadline = time.Millisecond
+		c.Procs[5] = &hookProc{inner: c.Procs[5], onSend: func(r int) {
+			if r == 0 {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}}
 	})
 	// Allow exited goroutines to be reaped.
 	deadline := time.Now().Add(2 * time.Second)

@@ -14,12 +14,24 @@
 // Anonymity is enforced structurally: a process is given only the multiset
 // of messages it received, in an order canonicalized by the message
 // encoding, never the identity of a sender.
+//
+// Both engines are cancellation-aware: RunSequentialCtx and
+// RunConcurrentCtx honor a context.Context at round granularity (checked
+// at the top of each round and between the send and receive phases), honor
+// an optional per-round wall-clock budget (Config.RoundDeadline), and
+// convert process panics into a typed *ProcessPanicError instead of
+// crashing the caller. RunSequential and RunConcurrent are thin wrappers
+// over context.Background(). For the same schedule the two engines return
+// identical round counts and identical errors on every exit path.
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"anondyn/internal/dynet"
 	"anondyn/internal/graph"
@@ -92,6 +104,12 @@ type Config struct {
 	Canon Canonicalizer
 	// MaxRounds bounds the execution length.
 	MaxRounds int
+	// RoundDeadline, if positive, bounds the wall-clock duration of each
+	// round. A round that overruns it aborts the run with a
+	// *RoundDeadlineError; the paper's model is synchronous, so a round
+	// that cannot complete is an execution fault, not a slow message.
+	// Zero means no per-round deadline.
+	RoundDeadline time.Duration
 	// Stop, if non-nil, is evaluated after each round's receive phase;
 	// returning true ends the run after that round.
 	Stop func(completedRound int) bool
@@ -145,6 +163,37 @@ func (c *Config) canon() Canonicalizer {
 		return c.Canon
 	}
 	return DefaultCanon
+}
+
+// Engine is the signature shared by RunSequential and RunConcurrent, used
+// by protocol helpers that are parameterized over the execution engine.
+type Engine = func(*Config) (int, error)
+
+// SequentialEngine binds ctx to the sequential engine, producing the
+// Engine shape expected by the protocol helpers. It lets engine-agnostic
+// code (counting, dissemination, chainnet) run under a cancellable context
+// without changing its own signatures.
+func SequentialEngine(ctx context.Context) Engine {
+	return func(cfg *Config) (int, error) { return RunSequentialCtx(ctx, cfg) }
+}
+
+// ConcurrentEngine binds ctx to the goroutine-per-node engine.
+func ConcurrentEngine(ctx context.Context) Engine {
+	return func(cfg *Config) (int, error) { return RunConcurrentCtx(ctx, cfg) }
+}
+
+// guard invokes fn, converting a panic into a *ProcessPanicError
+// attributed to node v at round r. The sequential engine wraps each
+// protocol call with it; the concurrent engine installs the equivalent
+// recover in each worker goroutine.
+func guard(v, r int, fn func()) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &ProcessPanicError{Node: v, Round: r, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
 }
 
 // assembleInboxes groups the round's broadcasts by receiver and sorts each

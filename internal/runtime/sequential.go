@@ -1,6 +1,11 @@
 package runtime
 
-import "anondyn/internal/graph"
+import (
+	"context"
+	"time"
+
+	"anondyn/internal/graph"
+)
 
 // RunSequential executes the configured computation in a single goroutine,
 // processing nodes in ascending order within each phase. It returns the
@@ -9,14 +14,33 @@ import "anondyn/internal/graph"
 //
 // RunSequential and RunConcurrent implement the same semantics; the
 // sequential engine is the reference implementation and is fully
-// deterministic.
+// deterministic. RunSequential is RunSequentialCtx over
+// context.Background().
 func RunSequential(cfg *Config) (int, error) {
+	return RunSequentialCtx(context.Background(), cfg)
+}
+
+// RunSequentialCtx is RunSequential under a context. The context is checked
+// at the top of every round and between the send and receive phases; once
+// it is done, the run stops with the completed-round count and an error
+// wrapping ctx.Err(). If Config.RoundDeadline is positive, a round whose
+// wall-clock time exceeds it aborts the run with a *RoundDeadlineError. A
+// panicking process aborts the run with a *ProcessPanicError instead of
+// propagating the panic.
+func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
 	n := cfg.Net.N()
 	outbox := make([]Message, n)
 	for r := 0; r < cfg.MaxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return r, canceled(r, err)
+		}
+		var roundStart time.Time
+		if cfg.RoundDeadline > 0 {
+			roundStart = time.Now()
+		}
 		var g *graph.Graph
 		if cfg.Adaptive == nil {
 			var err error
@@ -26,13 +50,22 @@ func RunSequential(cfg *Config) (int, error) {
 			// Degree oracle (Discussion model): degree known before Send.
 			for v := 0; v < n; v++ {
 				if da, ok := cfg.Procs[v].(DegreeAware); ok {
-					da.SetDegree(r, g.Degree(graph.NodeID(v)))
+					deg := g.Degree(graph.NodeID(v))
+					if err := guard(v, r, func() { da.SetDegree(r, deg) }); err != nil {
+						return r, err
+					}
 				}
 			}
 		}
 		// Send phase.
 		for v := 0; v < n; v++ {
-			outbox[v] = cfg.Procs[v].Send(r)
+			p := cfg.Procs[v]
+			if err := guard(v, r, func() { outbox[v] = p.Send(r) }); err != nil {
+				return r, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return r, canceled(r, err)
 		}
 		if cfg.Adaptive != nil {
 			// The omniscient adversary fixes the topology knowing the
@@ -45,7 +78,16 @@ func RunSequential(cfg *Config) (int, error) {
 		// Receive phase.
 		inboxes := assembleInboxes(cfg, g, outbox)
 		for v := 0; v < n; v++ {
-			cfg.Procs[v].Receive(r, inboxes[v])
+			p := cfg.Procs[v]
+			if err := guard(v, r, func() { p.Receive(r, inboxes[v]) }); err != nil {
+				return r, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return r, canceled(r, err)
+		}
+		if cfg.RoundDeadline > 0 && time.Since(roundStart) > cfg.RoundDeadline {
+			return r, &RoundDeadlineError{Round: r, Limit: cfg.RoundDeadline}
 		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(r)
@@ -60,8 +102,10 @@ func RunSequential(cfg *Config) (int, error) {
 // RunUntilOutput runs the computation with the given engine until the
 // process at node `leader` reports a terminal output via the Outputter
 // interface, or maxRounds elapse. It returns the output value and the number
-// of rounds used. If the leader never terminates, ok is false.
-func RunUntilOutput(cfg *Config, leader int, run func(*Config) (int, error)) (value, rounds int, ok bool, err error) {
+// of rounds used. If the leader never terminates, ok is false. Pass an
+// engine produced by SequentialEngine or ConcurrentEngine to run under a
+// context.
+func RunUntilOutput(cfg *Config, leader int, run Engine) (value, rounds int, ok bool, err error) {
 	if leader < 0 || leader >= len(cfg.Procs) {
 		return 0, 0, false, errIndex(leader, len(cfg.Procs))
 	}
