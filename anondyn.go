@@ -21,6 +21,10 @@
 //   - internal/counting, internal/dissemination: baseline protocols
 //     (star counting, the degree-oracle O(1) counter, push-sum, flooding
 //     and token forwarding);
+//   - internal/sweep: the experiment-campaign engine — declarative specs
+//     expanded into independent jobs, a sharded work-stealing worker pool
+//     with per-job deterministic seeds, and an append-only JSONL journal
+//     that makes killed campaigns resumable (cmd/sweep is its CLI);
 //   - internal/experiments, internal/figures: the reproduction harness.
 //
 // The quickest tour:

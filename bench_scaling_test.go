@@ -4,7 +4,9 @@
 package anondyn_test
 
 import (
+	"context"
 	"fmt"
+	goruntime "runtime"
 	"testing"
 
 	"anondyn/internal/chainnet"
@@ -13,6 +15,7 @@ import (
 	"anondyn/internal/kernel"
 	"anondyn/internal/multigraph"
 	"anondyn/internal/runtime"
+	"anondyn/internal/sweep"
 )
 
 // BenchmarkIntervalSolverScaling measures the O(3^t) interval solver over
@@ -176,6 +179,46 @@ func BenchmarkIncrementalVsBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSweepEngine measures campaign throughput (jobs/sec) on the
+// work-stealing pool at 1, 4, and NumCPU workers — the baseline every
+// future scaling PR (distributed backends, caching, larger grids) must
+// beat. The workload is the Monte-Carlo counting trial behind the figures.
+func BenchmarkSweepEngine(b *testing.B) {
+	var workerCounts []int
+	for _, w := range []int{1, 4, goruntime.NumCPU()} {
+		dup := false
+		for _, seen := range workerCounts {
+			dup = dup || seen == w
+		}
+		if !dup {
+			workerCounts = append(workerCounts, w)
+		}
+	}
+	spec := sweep.Spec{
+		Name: "bench", Proto: sweep.ProtoMDBLCount,
+		Sizes: []int{40, 121}, Trials: 16, Horizon: 10, Seed: 7,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := sweep.Run(context.Background(), jobs, sweep.MDBLCount, sweep.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Executed != len(jobs) {
+					b.Fatalf("executed %d/%d", rep.Executed, len(jobs))
+				}
+			}
+			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
 }
 
 // BenchmarkStructuredMatVec measures the matrix-free M_r product at depths

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -70,8 +71,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if matched == 0 {
 		return cli.Usagef("no experiments matched filter %q", *idFilter)
 	}
+	bw := bufio.NewWriter(out)
 	if len(rows) > 0 {
-		fmt.Fprint(out, experiments.FormatTable(rows))
+		fmt.Fprint(bw, experiments.FormatTable(rows))
 	}
 	if interrupted != nil {
 		var cause string
@@ -81,12 +83,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		default:
 			cause = "interrupted"
 		}
-		fmt.Fprintf(out, "\npartial result: %d rows completed before the suite stopped (%s).\n", len(rows), cause)
+		fmt.Fprintf(bw, "\npartial result: %d rows completed before the suite stopped (%s).\n", len(rows), cause)
+		// Flush before the non-zero exit (cli.ExitRuntime): the partial
+		// rows are what a resumed campaign trusts, so losing them to an
+		// unflushed buffer would be worse than the interruption itself.
+		// A flush failure escalates into the returned error.
+		if ferr := bw.Flush(); ferr != nil {
+			return errors.Join(fmt.Errorf("flushing partial results: %w", ferr), interrupted)
+		}
 		return fmt.Errorf("suite stopped early after %d rows: %w", len(rows), interrupted)
 	}
 	if !experiments.AllMatch(rows) {
+		if ferr := bw.Flush(); ferr != nil {
+			return fmt.Errorf("flushing results: %w", ferr)
+		}
 		return fmt.Errorf("some measurements disagree with the paper")
 	}
-	fmt.Fprintf(out, "\n%d rows, all matching the paper's claims.\n", len(rows))
-	return nil
+	fmt.Fprintf(bw, "\n%d rows, all matching the paper's claims.\n", len(rows))
+	return bw.Flush()
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"anondyn/internal/cli"
 )
 
 func TestRunFiltered(t *testing.T) {
@@ -34,5 +37,42 @@ func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run(context.Background(), []string{"-nope"}, &sb); err == nil {
 		t.Fatal("bad flag should error")
+	}
+}
+
+// An interrupted suite must land its partial output in the writer before
+// run returns (the buffer is flushed on the error path, and cli maps the
+// error to exit code 2), so resumed campaigns can trust what was printed.
+func TestRunInterruptFlushesPartialOutput(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-id", "F3,F4"}, &sb)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cli.ExitCode(err) != cli.ExitRuntime {
+		t.Fatalf("interrupted suite must exit %d, got %d", cli.ExitRuntime, cli.ExitCode(err))
+	}
+	if !strings.Contains(sb.String(), "partial result:") {
+		t.Fatalf("partial-result notice not flushed:\n%q", sb.String())
+	}
+}
+
+// failWriter rejects every write, standing in for a stdout whose device is
+// gone: the flush failure must surface in the returned error, not vanish.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("device gone") }
+
+func TestRunInterruptReportsFlushFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-id", "F3"}, failWriter{})
+	if err == nil || !strings.Contains(err.Error(), "flushing partial results") {
+		t.Fatalf("flush failure not reported: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interruption cause lost from %v", err)
 	}
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anondyn/internal/cli"
+	"anondyn/internal/sweep"
+)
+
+func TestRunSmokeCampaign(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-spec", "smoke", "-workers", "2", "-out", journal}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "mdbl-count") || !strings.Contains(out, "proto") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+	done, err := sweep.ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 8 { // smoke = 2 sizes × 4 trials
+		t.Fatalf("journal holds %d rows, want 8", len(done))
+	}
+}
+
+// The CLI resume drill: interrupt with -maxjobs (exit code 2), resume, and
+// require stdout byte-identical to an uninterrupted campaign.
+func TestRunForcedResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	var full strings.Builder
+	if err := run(context.Background(), []string{"-spec", "smoke", "-workers", "2", "-out", filepath.Join(dir, "full.jsonl")}, &full); err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(dir, "j.jsonl")
+	var interrupted strings.Builder
+	err := run(context.Background(), []string{"-spec", "smoke", "-workers", "2", "-maxjobs", "3", "-out", journal}, &interrupted)
+	if !errors.Is(err, sweep.ErrJobLimit) {
+		t.Fatalf("want ErrJobLimit, got %v", err)
+	}
+	if cli.ExitCode(err) != cli.ExitRuntime {
+		t.Fatalf("interrupted campaign must exit %d, got %d", cli.ExitRuntime, cli.ExitCode(err))
+	}
+	if interrupted.Len() != 0 {
+		t.Fatalf("interrupted run wrote to stdout:\n%s", interrupted.String())
+	}
+
+	var resumed strings.Builder
+	if err := run(context.Background(), []string{"-spec", "smoke", "-workers", "2", "-resume", "-out", journal}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Fatalf("resumed output differs:\n%s\nvs\n%s", resumed.String(), full.String())
+	}
+}
+
+func TestRunSpecFileAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	specJSON := `{"name":"tiny","proto":"mdbl-count","sizes":[5],"trials":2,"horizon":6,"seed":3}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-spec", specPath, "-csv", "-out", filepath.Join(dir, "j.jsonl")}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "proto,n,trials,") {
+		t.Fatalf("missing CSV header:\n%s", sb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                  // missing -spec
+		{"-spec", "no-such-spec"},           // unknown spec
+		{"-spec", "smoke", "-workers", "0"}, // bad workers
+		{"-nope"},                           // bad flag
+	} {
+		err := run(context.Background(), args, &strings.Builder{})
+		if cli.ExitCode(err) != cli.ExitUsage {
+			t.Fatalf("args %v: want usage error, got %v", args, err)
+		}
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-spec", "smoke", "-out", filepath.Join(t.TempDir(), "j.jsonl")}, &strings.Builder{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cli.ExitCode(err) != cli.ExitRuntime {
+		t.Fatalf("canceled campaign must exit %d", cli.ExitRuntime)
+	}
+}

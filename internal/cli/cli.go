@@ -85,6 +85,11 @@ func Main(name string, run func(ctx context.Context, args []string, out io.Write
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	err := run(ctx, os.Args[1:], os.Stdout)
 	stop()
+	// os.Exit skips deferred flushes, so force the results stream to
+	// stable storage here: partial output printed before a non-zero exit
+	// (an interrupted run's completed rows) must be durable — resumed
+	// campaigns trust it. Sync fails benignly on terminals and pipes.
+	_ = os.Stdout.Sync()
 	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"anondyn/internal/core"
+	"anondyn/internal/sweep"
 )
 
 // theorem1Sizes is the sweep used by Theorem1 and Theorem2: a mix of
@@ -14,38 +15,55 @@ func theorem1Sizes() []int {
 	return []int{1, 2, 3, 4, 5, 12, 13, 14, 27, 39, 40, 41, 100, 121, 364, 1000, 3280}
 }
 
+// joinNonEmpty joins the non-empty entries of a per-index result slice,
+// preserving sweep order regardless of the engine's scheduling.
+func joinNonEmpty(parts []string) []string {
+	var out []string
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Theorem1 sweeps network sizes, constructs the adversarial pair for each,
 // verifies indistinguishability through exactly ⌊log₃(2n+1)⌋ completed
 // rounds, and verifies that the extended pair diverges exactly one round
-// later.
+// later. The sizes run concurrently on the sweep engine's worker pool;
+// findings are reassembled in sweep order, so the row is deterministic.
 func Theorem1(ctx context.Context) ([]Row, error) {
-	var bad []string
-	for _, n := range theorem1Sizes() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	sizes := theorem1Sizes()
+	failures := make([]string, len(sizes))
+	err := sweep.ForEach(ctx, len(sizes), 0, func(ctx context.Context, i int) error {
+		n := sizes[i]
 		want := core.MaxIndistinguishableRounds(n)
 		pair, err := core.WorstCasePair(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if pair.Rounds != want {
-			bad = append(bad, fmt.Sprintf("n=%d sustained %d", n, pair.Rounds))
-			continue
+			failures[i] = fmt.Sprintf("n=%d sustained %d", n, pair.Rounds)
+			return nil
 		}
 		if err := pair.Verify(); err != nil {
-			bad = append(bad, fmt.Sprintf("n=%d verify: %v", n, err))
-			continue
+			failures[i] = fmt.Sprintf("n=%d verify: %v", n, err)
+			return nil
 		}
 		ext, err := pair.Extend(2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		div, found := ext.FirstDivergence()
 		if !found || div != want+1 {
-			bad = append(bad, fmt.Sprintf("n=%d diverged at %d", n, div))
+			failures[i] = fmt.Sprintf("n=%d diverged at %d", n, div)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	bad := joinNonEmpty(failures)
 	measured := "all sizes: indistinguishable exactly ⌊log₃(2n+1)⌋ rounds, diverge next round"
 	if len(bad) > 0 {
 		measured = "FAILURES: " + strings.Join(bad, "; ")
@@ -61,30 +79,38 @@ func Theorem1(ctx context.Context) ([]Row, error) {
 
 // Theorem2 measures the leader-state counter on worst-case schedules: the
 // observed termination round must equal the exact bound for every size —
-// showing simultaneously that the bound is unbeatable and achievable.
+// showing simultaneously that the bound is unbeatable and achievable. The
+// per-size measurements run concurrently on the sweep engine.
 func Theorem2(ctx context.Context) ([]Row, error) {
-	var bad []string
-	var series []string
+	var sizes []int
 	for _, n := range theorem1Sizes() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if n > 1100 {
 			// The counter enumerates 3^rounds leaf states; cap the sweep
 			// where the dense walk stays sub-second.
 			continue
 		}
+		sizes = append(sizes, n)
+	}
+	series := make([]string, len(sizes))
+	failures := make([]string, len(sizes))
+	err := sweep.ForEach(ctx, len(sizes), 0, func(ctx context.Context, i int) error {
+		n := sizes[i]
 		res, err := core.WorstCaseCountRounds(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		want := core.LowerBoundRounds(n)
-		series = append(series, fmt.Sprintf("n=%d:%d", n, res.Rounds))
+		series[i] = fmt.Sprintf("n=%d:%d", n, res.Rounds)
 		if res.Rounds != want || res.Count != n {
-			bad = append(bad, fmt.Sprintf("n=%d got (%d rounds, count %d) want %d rounds", n, res.Rounds, res.Count, want))
+			failures[i] = fmt.Sprintf("n=%d got (%d rounds, count %d) want %d rounds", n, res.Rounds, res.Count, want)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	measured := "rounds(n) = ⌊log₃(2n+1)⌋+1 exactly: " + strings.Join(series, " ")
+	bad := joinNonEmpty(failures)
+	measured := "rounds(n) = ⌊log₃(2n+1)⌋+1 exactly: " + strings.Join(joinNonEmpty(series), " ")
 	if len(bad) > 0 {
 		measured = "FAILURES: " + strings.Join(bad, "; ")
 	}
@@ -98,27 +124,36 @@ func Theorem2(ctx context.Context) ([]Row, error) {
 }
 
 // Corollary1 measures the chain composition: counting rounds equal
-// delay + ⌊log₃(2n+1)⌋ + 1 = (D - 2) + Ω(log n) for every grid point.
+// delay + ⌊log₃(2n+1)⌋ + 1 = (D - 2) + Ω(log n) for every grid point. The
+// (n, delay) grid runs concurrently on the sweep engine.
 func Corollary1(ctx context.Context) ([]Row, error) {
-	var bad []string
-	var series []string
+	type point struct{ n, delay int }
+	var grid []point
 	for _, n := range []int{4, 13, 40, 121} {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		for _, delay := range []int{0, 1, 3, 8} {
-			res, err := core.ChainCountRounds(n, delay)
-			if err != nil {
-				return nil, err
-			}
-			want := core.ChainLowerBoundRounds(n, delay)
-			series = append(series, fmt.Sprintf("(n=%d,delay=%d):%d", n, delay, res.Rounds))
-			if res.Rounds != want || res.Count != n {
-				bad = append(bad, fmt.Sprintf("n=%d delay=%d got %d want %d", n, delay, res.Rounds, want))
-			}
+			grid = append(grid, point{n, delay})
 		}
 	}
-	measured := strings.Join(series, " ")
+	series := make([]string, len(grid))
+	failures := make([]string, len(grid))
+	err := sweep.ForEach(ctx, len(grid), 0, func(ctx context.Context, i int) error {
+		p := grid[i]
+		res, err := core.ChainCountRounds(p.n, p.delay)
+		if err != nil {
+			return err
+		}
+		want := core.ChainLowerBoundRounds(p.n, p.delay)
+		series[i] = fmt.Sprintf("(n=%d,delay=%d):%d", p.n, p.delay, res.Rounds)
+		if res.Rounds != want || res.Count != p.n {
+			failures[i] = fmt.Sprintf("n=%d delay=%d got %d want %d", p.n, p.delay, res.Rounds, want)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bad := joinNonEmpty(failures)
+	measured := strings.Join(joinNonEmpty(series), " ")
 	if len(bad) > 0 {
 		measured = "FAILURES: " + strings.Join(bad, "; ")
 	}

@@ -10,11 +10,9 @@ package montecarlo
 import (
 	"context"
 	"fmt"
-	"math"
-	"sort"
 
 	"anondyn/internal/core"
-	"anondyn/internal/multigraph"
+	"anondyn/internal/sweep"
 )
 
 // Summary describes a sample of counting-round measurements.
@@ -38,45 +36,25 @@ func (s Summary) String() string {
 		s.Trials, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max, s.Failures)
 }
 
-// summarize computes a Summary from raw round counts (-1 = failure).
+// summarize computes a Summary from raw round counts (-1 = failure). The
+// statistics themselves are sweep.Distribution's — one definition serves
+// the study, the campaign engine, and the figure tables.
 func summarize(rounds []int) Summary {
-	s := Summary{Min: math.MaxInt}
-	var ok []int
-	total := 0
-	for _, r := range rounds {
-		if r < 0 {
-			s.Failures++
-			continue
-		}
-		ok = append(ok, r)
-		total += r
-		if r < s.Min {
-			s.Min = r
-		}
-		if r > s.Max {
-			s.Max = r
-		}
+	d := sweep.Distribution(rounds)
+	return Summary{
+		Trials: d.Trials, Mean: d.Mean, Min: d.Min, Max: d.Max,
+		P50: d.P50, P90: d.P90, P99: d.P99, Failures: d.Failures,
 	}
-	s.Trials = len(rounds)
-	if len(ok) == 0 {
-		s.Min = 0
-		return s
-	}
-	s.Mean = float64(total) / float64(len(ok))
-	sort.Ints(ok)
-	q := func(p float64) int {
-		idx := int(p * float64(len(ok)-1))
-		return ok[idx]
-	}
-	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
-	return s
 }
 
 // RandomScheduleRounds measures the leader-state counter on `trials`
 // uniformly random ℳ(DBL)₂ schedules of size n, each run for up to
-// `horizon` rounds. Seeds derive deterministically from baseSeed, so the
-// study is reproducible. The context is checked between trials: a canceled
-// study stops promptly and returns the context's error.
+// `horizon` rounds. The trials execute as one sweep-engine campaign on the
+// work-stealing pool, so the study parallelizes across all cores; each
+// trial's RNG seed derives from (baseSeed, n, trial) via sweep.JobSeed,
+// never from a shared source, so any shard of the study — including a
+// resumed one — reproduces the original numbers. A canceled context stops
+// the study promptly and returns the context's error.
 func RandomScheduleRounds(ctx context.Context, n, trials, horizon int, baseSeed int64) (Summary, error) {
 	if n < 1 {
 		return Summary{}, fmt.Errorf("montecarlo: need n >= 1, got %d", n)
@@ -87,24 +65,25 @@ func RandomScheduleRounds(ctx context.Context, n, trials, horizon int, baseSeed 
 	if horizon < 1 {
 		return Summary{}, fmt.Errorf("montecarlo: need horizon >= 1, got %d", horizon)
 	}
+	spec := sweep.Spec{
+		Name: "montecarlo", Proto: sweep.ProtoMDBLCount,
+		Sizes: []int{n}, Trials: trials, Horizon: horizon, Seed: baseSeed,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return Summary{}, fmt.Errorf("montecarlo: %w", err)
+	}
+	rep, err := sweep.Run(ctx, jobs, sweep.MDBLCount, sweep.Options{})
+	if err != nil {
+		return Summary{}, fmt.Errorf("montecarlo: %d/%d trials: %w", rep.Executed, trials, err)
+	}
 	rounds := make([]int, trials)
-	for i := 0; i < trials; i++ {
-		if err := ctx.Err(); err != nil {
-			return Summary{}, fmt.Errorf("montecarlo: canceled after %d/%d trials: %w", i, trials, err)
-		}
-		m, err := multigraph.Random(2, n, horizon, baseSeed+int64(i))
-		if err != nil {
-			return Summary{}, err
-		}
-		res, err := core.CountOnMultigraph(m, horizon)
-		if err != nil {
+	for i, r := range rep.Results {
+		if r.Failed {
 			rounds[i] = -1
 			continue
 		}
-		if res.Count != n {
-			return Summary{}, fmt.Errorf("montecarlo: trial %d counted %d on a size-%d schedule", i, res.Count, n)
-		}
-		rounds[i] = res.Rounds
+		rounds[i] = r.Rounds
 	}
 	return summarize(rounds), nil
 }

@@ -2,10 +2,12 @@ package montecarlo
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
 	"anondyn/internal/core"
+	"anondyn/internal/sweep"
 )
 
 func TestRandomScheduleRoundsBasic(t *testing.T) {
@@ -38,6 +40,68 @@ func TestRandomScheduleRoundsDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+// TestGoldenSeedRegression pins the study's numbers for one fixed
+// (campaign seed, grid) point. Per-trial seeds derive from
+// sweep.JobSeed(baseSeed, n, trial); any change to that derivation — or to
+// how the trial consumes its RNG — shows up here as a different summary,
+// which would mean resumed shards no longer reproduce old journals.
+func TestGoldenSeedRegression(t *testing.T) {
+	s, err := RandomScheduleRounds(context.Background(), 10, 20, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{Trials: 20, Mean: 2.40, Min: 2, Max: 3, P50: 2, P90: 3, P99: 3, Failures: 0}
+	if s != want {
+		t.Fatalf("golden summary drifted:\n got %+v\nwant %+v", s, want)
+	}
+}
+
+// A resumed shard must reproduce the original run's numbers exactly: the
+// per-trial results depend only on (campaign seed, size, trial index),
+// never on which process or worker executes the trial.
+func TestResumedShardReproducesStudy(t *testing.T) {
+	spec := sweep.Spec{
+		Name: "shard", Proto: sweep.ProtoMDBLCount,
+		Sizes: []int{10}, Trials: 30, Horizon: 8, Seed: 42,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sweep.Run(context.Background(), jobs, sweep.MDBLCount, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume-style shard: the first 20 trials come from a "previous run's
+	// journal"; only the tail executes here, at a different worker count.
+	done := make(map[string]sweep.Result, 20)
+	for _, r := range full.Results[:20] {
+		done[r.Key] = r
+	}
+	shard, err := sweep.Run(context.Background(), jobs, sweep.MDBLCount, sweep.Options{Workers: 2, Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Resumed != 20 || shard.Executed != 10 {
+		t.Fatalf("resumed=%d executed=%d", shard.Resumed, shard.Executed)
+	}
+	if !reflect.DeepEqual(shard.Results, full.Results) {
+		t.Fatal("resumed shard diverged from the original run")
+	}
+	// And the whole study, re-run monolithically, agrees too.
+	s, err := RandomScheduleRounds(context.Background(), 10, 30, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	for _, r := range full.Results {
+		rounds = append(rounds, r.Rounds)
+	}
+	if got := summarize(rounds); got != s {
+		t.Fatalf("study summary %+v != sharded summary %+v", s, got)
 	}
 }
 

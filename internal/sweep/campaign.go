@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+)
+
+// CampaignOptions tunes RunCampaign.
+type CampaignOptions struct {
+	// Workers, MaxRetries, MaxJobs, and OnResult are passed to Run.
+	Workers    int
+	MaxRetries int
+	MaxJobs    int
+	OnResult   func(Result)
+	// JournalPath, if non-empty, streams completed jobs to this JSONL
+	// file. With Resume, the file's existing rows are loaded first and
+	// their jobs are not re-executed; without it the file is truncated.
+	JournalPath string
+	Resume      bool
+}
+
+// CampaignReport is a finished (or interrupted) campaign.
+type CampaignReport struct {
+	// Spec is the campaign that ran.
+	Spec Spec
+	// Results holds the per-job results in canonical job order; partial
+	// when Err was returned.
+	Results []Result
+	// Stats is the per-(protocol, size) aggregation; nil on interruption.
+	Stats []GroupStat
+	// Executed and Resumed count jobs run here vs restored from the
+	// journal.
+	Executed, Resumed int
+}
+
+// RunCampaign is the end-to-end campaign entry point: expand the spec into
+// jobs, restore completed jobs from the journal when resuming, execute the
+// rest on the worker pool, and aggregate. On interruption the report is
+// returned alongside the error with whatever completed — all of it already
+// durable in the journal.
+func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*CampaignReport, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := Proto(spec.Proto)
+	if !ok {
+		return nil, fmt.Errorf("sweep: spec %q names unknown protocol %q", spec.Name, spec.Proto)
+	}
+	runOpts := Options{
+		Workers:    opts.Workers,
+		MaxRetries: opts.MaxRetries,
+		MaxJobs:    opts.MaxJobs,
+		OnResult:   opts.OnResult,
+	}
+	if opts.JournalPath != "" {
+		if opts.Resume {
+			done, err := ReadJournal(opts.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+			runOpts.Done = done
+		}
+		j, err := OpenJournal(opts.JournalPath, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		runOpts.Journal = j
+	}
+	rep, err := Run(ctx, jobs, fn, runOpts)
+	out := &CampaignReport{
+		Spec:     spec,
+		Results:  rep.Results,
+		Executed: rep.Executed,
+		Resumed:  rep.Resumed,
+	}
+	if err != nil {
+		return out, fmt.Errorf("campaign %s: %w", spec.Name, err)
+	}
+	out.Stats = Aggregate(rep.Results)
+	return out, nil
+}

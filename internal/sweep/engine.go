@@ -1,0 +1,316 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes one engine run.
+type Options struct {
+	// Workers sets the pool size; <= 0 means GOMAXPROCS. Worker count
+	// never affects results, only wall-clock time: every job's outcome is
+	// a pure function of the job itself.
+	Workers int
+	// MaxRetries is how many times a job is re-attempted after an
+	// execution fault (an error or panic from the protocol function)
+	// before the fault aborts the campaign. 0 means fail on the first
+	// fault. Context cancellation is never retried.
+	MaxRetries int
+	// Journal, if non-nil, receives every job completed by this run,
+	// streamed as the job finishes. Jobs satisfied from Done are not
+	// re-appended — the journal is append-only and idempotent by job key.
+	Journal *Journal
+	// Done holds results of jobs completed by a previous run (normally
+	// ReadJournal's output). Matching jobs are not re-executed.
+	Done map[string]Result
+	// MaxJobs, if positive, stops the run after this many jobs have been
+	// executed by this process (resumed jobs do not count). The run then
+	// fails with ErrJobLimit; the journal keeps what completed. It exists
+	// to drill the kill/resume path deterministically.
+	MaxJobs int
+	// OnResult, if non-nil, observes each executed result. Calls are
+	// serialized but arrive in completion order, not job order.
+	OnResult func(Result)
+}
+
+// ErrJobLimit reports that Options.MaxJobs stopped the run early.
+var ErrJobLimit = errors.New("sweep: job limit reached")
+
+// JobPanicError reports that a protocol function panicked. The engine
+// isolates the panic to the offending job: it is retried like any other
+// execution fault, and exhausting retries aborts the campaign with this
+// error instead of crashing the process.
+type JobPanicError struct {
+	// Job is the job whose protocol function panicked.
+	Job Job
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack, for diagnostics.
+	Stack []byte
+}
+
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("sweep: job %s panicked: %v", e.Job.Key, e.Value)
+}
+
+// Report summarizes a Run.
+type Report struct {
+	// Results holds one result per job, in job order. Complete only when
+	// Run returned nil; on error it is partial and positions of
+	// unfinished jobs hold zero Results.
+	Results []Result
+	// Executed counts jobs run by this process.
+	Executed int
+	// Resumed counts jobs satisfied from Options.Done.
+	Resumed int
+}
+
+// Run executes the jobs on a work-stealing worker pool and returns their
+// results in job order. Each worker owns a shard of the job list and, when
+// its shard drains, steals from the back of the fullest neighbor — so an
+// uneven grid (one slow size, many fast ones) still saturates the pool.
+//
+// The first unrecoverable fault (a protocol error or panic surviving
+// MaxRetries, a journal write failure, or the context being canceled)
+// stops the run: no new jobs start, in-flight jobs finish or observe the
+// cancellation, and the fault is returned after all workers have joined.
+// Jobs completed before the fault are already in the journal, which is
+// what makes -resume safe after SIGKILL, not just after clean shutdown.
+func Run(ctx context.Context, jobs []Job, fn ProtoFunc, opts Options) (*Report, error) {
+	rep := &Report{Results: make([]Result, len(jobs))}
+	keys := make(map[string]int, len(jobs))
+	var pending []int
+	for i, job := range jobs {
+		if job.Key == "" {
+			return rep, fmt.Errorf("sweep: job %d has an empty key", i)
+		}
+		if prev, dup := keys[job.Key]; dup {
+			return rep, fmt.Errorf("sweep: jobs %d and %d share key %s", prev, i, job.Key)
+		}
+		keys[job.Key] = i
+		if r, ok := opts.Done[job.Key]; ok {
+			rep.Results[i] = normalize(r, job)
+			rep.Resumed++
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return rep, ctx.Err()
+	}
+
+	e := &engine{
+		jobs: jobs, fn: fn, opts: opts, results: rep.Results,
+	}
+	e.ctx, e.cancel = context.WithCancel(ctx)
+	defer e.cancel()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	e.shards = make([]shard, workers)
+	for i, idx := range pending {
+		s := &e.shards[i*workers/len(pending)]
+		s.queue = append(s.queue, idx)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.work(w)
+		}(w)
+	}
+	wg.Wait()
+
+	rep.Executed = int(e.completed.Load())
+	if err := e.err(); err != nil {
+		return rep, fmt.Errorf("sweep: stopped after %d/%d jobs: %w",
+			rep.Executed+rep.Resumed, len(jobs), err)
+	}
+	return rep, nil
+}
+
+// shard is one worker's mutex-protected deque of job indices. The owner
+// pops from the front; thieves take from the back, where the stolen work
+// is farthest from what the owner touches next.
+type shard struct {
+	mu    sync.Mutex
+	queue []int
+}
+
+func (s *shard) popFront() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	idx := s.queue[0]
+	s.queue = s.queue[1:]
+	return idx, true
+}
+
+func (s *shard) popBack() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	idx := s.queue[len(s.queue)-1]
+	s.queue = s.queue[:len(s.queue)-1]
+	return idx, true
+}
+
+type engine struct {
+	jobs    []Job
+	fn      ProtoFunc
+	opts    Options
+	results []Result
+	shards  []shard
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// started gates Options.MaxJobs; completed counts results written.
+	started   atomic.Int64
+	completed atomic.Int64
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// fail records the first fault and stops the run.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+	e.cancel()
+}
+
+func (e *engine) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// work drains worker w's own shard, then steals; it exits when every shard
+// is empty (jobs never spawn jobs, so empty-everywhere means done) or the
+// run is stopped.
+func (e *engine) work(w int) {
+	for {
+		if err := e.ctx.Err(); err != nil {
+			e.fail(err) // no-op when the stop began with an earlier fault
+			return
+		}
+		idx, ok := e.shards[w].popFront()
+		if !ok {
+			idx, ok = e.steal(w)
+		}
+		if !ok {
+			return
+		}
+		if !e.runJob(idx) {
+			return
+		}
+	}
+}
+
+func (e *engine) steal(w int) (int, bool) {
+	for off := 1; off < len(e.shards); off++ {
+		if idx, ok := e.shards[(w+off)%len(e.shards)].popBack(); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// runJob executes one job with bounded retries; it reports whether the
+// worker should keep going.
+func (e *engine) runJob(idx int) bool {
+	if n := e.started.Add(1); e.opts.MaxJobs > 0 && n > int64(e.opts.MaxJobs) {
+		e.fail(ErrJobLimit)
+		return false
+	}
+	job := e.jobs[idx]
+	var lastErr error
+	for attempt := 0; attempt <= e.opts.MaxRetries; attempt++ {
+		if err := e.ctx.Err(); err != nil {
+			e.fail(err)
+			return false
+		}
+		res, err := guarded(e.ctx, e.fn, job)
+		if err == nil {
+			res = normalize(res, job)
+			if e.opts.Journal != nil {
+				if jerr := e.opts.Journal.Append(res); jerr != nil {
+					e.fail(jerr)
+					return false
+				}
+			}
+			e.results[idx] = res
+			e.completed.Add(1)
+			if e.opts.OnResult != nil {
+				e.mu.Lock()
+				e.opts.OnResult(res)
+				e.mu.Unlock()
+			}
+			return true
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.fail(err)
+			return false
+		}
+		lastErr = err
+	}
+	e.fail(fmt.Errorf("sweep: job %s failed after %d attempts: %w",
+		job.Key, e.opts.MaxRetries+1, lastErr))
+	return false
+}
+
+// guarded invokes fn, converting a panic into a *JobPanicError so one bad
+// job cannot take down the campaign (or the caller's process).
+func guarded(ctx context.Context, fn ProtoFunc, job Job) (res Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = Result{}, &JobPanicError{Job: job, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job)
+}
+
+// normalize stamps the job's identity onto its result, so journal rows
+// always self-identify even if a protocol function forgets the bookkeeping
+// fields.
+func normalize(r Result, job Job) Result {
+	r.Key, r.Proto, r.N, r.Trial = job.Key, job.Proto, job.N, job.Trial
+	return r
+}
+
+// ForEach runs fn(i) for i in [0, n) on the work-stealing pool and returns
+// the first error. It is the engine's loop-shaped face: experiment sweeps
+// that iterate a size grid use it to gain parallelism without adopting the
+// journal machinery.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("i=%d", i), Trial: i}
+	}
+	_, err := Run(ctx, jobs, func(ctx context.Context, job Job) (Result, error) {
+		return Result{}, fn(ctx, job.Trial)
+	}, Options{Workers: workers})
+	return err
+}

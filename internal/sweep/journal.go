@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the campaign's durable result stream: one JSON-encoded Result
+// per line, appended (and fsynced) as each job completes. The file is the
+// unit of resume — a killed campaign restarts with ReadJournal's keys as
+// Options.Done and recomputes only what is missing. The journal is
+// append-only and idempotent by job key: a key is written at most once per
+// campaign, and re-running a finished campaign with resume writes nothing.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens the journal at path. With resume, existing rows are
+// kept and new rows append after them; otherwise the file is truncated and
+// the campaign starts from zero.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one completed result and syncs it to stable storage, so a
+// result the engine reported done survives any subsequent kill.
+func (j *Journal) Append(r Result) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweep: encode journal row %s: %w", r.Key, err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("sweep: append journal row %s: %w", r.Key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads a journal's completed results keyed by job key — the
+// Options.Done input of a resumed run. A missing file is an empty journal.
+// A torn final line (the process was killed mid-append) is dropped: its job
+// simply re-runs. Anything else malformed, and any duplicated job key, is
+// an error — a duplicate means some job executed twice, which the resume
+// contract forbids, so the audit fails loudly rather than silently keeping
+// either row.
+func ReadJournal(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Result{}, nil
+		}
+		return nil, fmt.Errorf("sweep: read journal: %w", err)
+	}
+	done := make(map[string]Result)
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail from a mid-append kill; the job re-runs
+			}
+			return nil, fmt.Errorf("sweep: journal %s line %d: %w", path, i+1, err)
+		}
+		if r.Key == "" {
+			return nil, fmt.Errorf("sweep: journal %s line %d has no job key", path, i+1)
+		}
+		if _, dup := done[r.Key]; dup {
+			return nil, fmt.Errorf("sweep: journal %s line %d: job %s appears twice — some job was executed twice", path, i+1, r.Key)
+		}
+		done[r.Key] = r
+	}
+	return done, nil
+}

@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Result{
+		{Key: "a", Proto: "p", N: 5, Trial: 0, Rounds: 3, Count: 5},
+		{Key: "b", Proto: "p", N: 5, Trial: 1, Rounds: -1, Failed: true, Err: "unresolved"},
+	}
+	for _, r := range rows {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || done["a"] != rows[0] || done["b"] != rows[1] {
+		t.Fatalf("round trip = %+v", done)
+	}
+}
+
+func TestReadJournalMissingFileIsEmpty(t *testing.T) {
+	done, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || len(done) != 0 {
+		t.Fatalf("missing journal: %v, %v", done, err)
+	}
+}
+
+func TestReadJournalTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"key":"a","proto":"p","n":5,"trial":0,"rounds":3}` + "\n" + `{"key":"b","pro`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done["a"].Rounds != 3 {
+		t.Fatalf("torn tail not dropped: %+v", done)
+	}
+}
+
+func TestReadJournalAuditsDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	row := `{"key":"a","proto":"p","n":5,"trial":0,"rounds":3}` + "\n"
+	if err := os.WriteFile(path, []byte(row+row), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate key must fail the audit, got %v", err)
+	}
+}
+
+func TestReadJournalRejectsMalformedMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := "garbage\n" + `{"key":"a","rounds":3}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("malformed middle line must error")
+	}
+}
+
+// The resume contract, end to end: kill a campaign mid-flight with a
+// context cancel, restart it with resume, and require (1) the merged
+// results are byte-identical to an uninterrupted run, (2) no journaled job
+// executed twice, and (3) the stitched journal passes the duplicate-key
+// audit.
+func TestCampaignKillAndResumeByteIdentical(t *testing.T) {
+	spec := Spec{Name: "resume-drill", Proto: "drill", Sizes: []int{4, 6, 8}, Trials: 5, Horizon: 3, Seed: 11}
+
+	// The drill protocol records who executed what, so the test can prove
+	// non-re-execution rather than assume it.
+	var mu sync.Mutex
+	executions := make(map[string]int)
+	Register("drill", func(_ context.Context, job Job) (Result, error) {
+		mu.Lock()
+		executions[job.Key]++
+		mu.Unlock()
+		return Result{Rounds: int(uint64(job.Seed) % 97)}, nil
+	})
+
+	dir := t.TempDir()
+
+	// Reference: one uninterrupted run.
+	refPath := filepath.Join(dir, "ref.jsonl")
+	ref, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 3, JournalPath: refPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable := FormatTable(ref.Stats)
+
+	// Interrupted run: the job limit models a SIGKILL after 6 jobs.
+	mu.Lock()
+	executions = make(map[string]int)
+	mu.Unlock()
+	path := filepath.Join(dir, "j.jsonl")
+	part, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 2, JournalPath: path, MaxJobs: 6})
+	if !errors.Is(err, ErrJobLimit) {
+		t.Fatalf("want ErrJobLimit, got %v", err)
+	}
+	if part.Executed == 0 || part.Executed >= 15 {
+		t.Fatalf("interrupted run executed %d jobs", part.Executed)
+	}
+	journaled, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journaled) != part.Executed {
+		t.Fatalf("journal holds %d rows, engine completed %d", len(journaled), part.Executed)
+	}
+
+	// Resume and finish.
+	resumed, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 2, JournalPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != len(journaled) || resumed.Executed != 15-len(journaled) {
+		t.Fatalf("resumed=%d executed=%d journaled=%d", resumed.Resumed, resumed.Executed, len(journaled))
+	}
+
+	// (1) Byte-identical aggregated output and identical per-job results.
+	if got := FormatTable(resumed.Stats); got != refTable {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", got, refTable)
+	}
+	for i := range ref.Results {
+		if ref.Results[i] != resumed.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, ref.Results[i], resumed.Results[i])
+		}
+	}
+
+	// (2) No job executed twice across kill + resume.
+	mu.Lock()
+	defer mu.Unlock()
+	for key, n := range executions {
+		if n != 1 {
+			t.Fatalf("job %s executed %d times", key, n)
+		}
+	}
+	if _, rerun := func() (string, bool) {
+		for key := range journaled {
+			if executions[key] > 1 {
+				return key, true
+			}
+		}
+		return "", false
+	}(); rerun {
+		t.Fatal("a journaled job re-executed on resume")
+	}
+
+	// (3) The stitched journal passes the duplicate-key audit and covers
+	// every job exactly once.
+	final, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 15 {
+		t.Fatalf("final journal holds %d rows, want 15", len(final))
+	}
+}

@@ -1,0 +1,28 @@
+package sweep
+
+// splitmix64 is Vigna's SplitMix64 finalizer: a bijective avalanche mixer
+// whose output stream passes BigCrush. It is the standard way to expand one
+// user-facing seed into many statistically independent per-job seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// JobSeed derives the RNG seed for one job from the campaign seed and the
+// job's grid coordinates (conventionally size then trial index). Every
+// coordinate is folded through SplitMix64, so nearby campaign seeds and
+// nearby coordinates yield unrelated streams — unlike the additive
+// baseSeed+i scheme this replaces, whose per-size streams were identical
+// and whose adjacent campaigns overlapped trial-for-trial. A resumed shard
+// recomputes exactly the seed the original run used, because the seed
+// depends only on (campaign seed, coordinates), never on execution order
+// or on a shared rand.Source.
+func JobSeed(campaign int64, coords ...uint64) int64 {
+	s := splitmix64(uint64(campaign))
+	for _, c := range coords {
+		s = splitmix64(s ^ splitmix64(c))
+	}
+	return int64(s)
+}
