@@ -17,6 +17,12 @@
 // The run context is canceled on SIGINT/SIGTERM or when -timeout elapses;
 // engine-backed algorithms then stop at the next round boundary. Exit
 // codes: 0 success, 1 usage error, 2 runtime failure.
+//
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON snapshot of the run's counters and histograms (engine rounds,
+// messages delivered, per-round wall time, solver calls) on exit, and
+// -pprof <addr> serves live /debug/pprof, /debug/vars, and /metrics.
+// Without either flag the instrumentation is disabled and costs nothing.
 package main
 
 import (
@@ -38,7 +44,7 @@ func main() {
 	cli.Main("anondyn", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("anondyn", flag.ContinueOnError)
 	algo := fs.String("algo", "", "counting algorithm: leaderstate | oracle | star | pushsum | chain | upperbound")
 	n := fs.Int("n", 13, "number of counted nodes (|W| for PD2 algorithms, |V| for star)")
@@ -48,12 +54,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	pair := fs.Bool("pair", false, "construct and describe the adversarial pair for -n and exit")
 	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-node engine")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
 	if *n < 1 {
 		return cli.Usagef("-n must be >= 1, got %d", *n)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	engine := runtime.SequentialEngine(ctx)

@@ -10,6 +10,11 @@
 // The suite honors SIGINT/SIGTERM and -timeout: an interrupted run prints
 // the rows completed so far and reports the interruption as a runtime
 // failure. Exit codes: 0 success, 1 usage error, 2 runtime failure.
+//
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON metrics snapshot on exit, -pprof <addr> serves live /debug/pprof,
+// /debug/vars, and /metrics. Without either flag the instrumentation is
+// disabled and costs nothing.
 package main
 
 import (
@@ -29,13 +34,18 @@ func main() {
 	cli.Main("experiments", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	idFilter := fs.String("id", "", "comma-separated experiment IDs to run (default: all)")
 	timeout := fs.Duration("timeout", 0, "abort the suite after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	wanted := map[string]bool{}

@@ -10,6 +10,11 @@
 // The table honors SIGINT/SIGTERM and -timeout, stopping between sizes.
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON metrics snapshot on exit, -pprof <addr> serves live /debug/pprof,
+// /debug/vars, and /metrics. Without either flag the instrumentation is
+// disabled and costs nothing.
+//
 // By default only the kernel-threshold sizes (3^t - 1)/2 and their
 // neighbors are printed; -all prints every size up to -max.
 package main
@@ -28,19 +33,24 @@ func main() {
 	cli.Main("lowerbound", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
 	maxN := fs.Int("max", 1000, "largest size to tabulate")
 	verify := fs.Bool("verify", false, "construct and verify the adversarial pair for each printed size")
 	all := fs.Bool("all", false, "print every size, not just the threshold neighborhood")
 	csv := fs.Bool("csv", false, "emit the series as CSV (n,indistinguishable_rounds,count_bound)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
 	if *maxN < 1 {
 		return cli.Usagef("-max must be >= 1, got %d", *maxN)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	sizes := selectSizes(*maxN, *all)

@@ -1,0 +1,246 @@
+// Command perfbaseline measures the pinned performance workloads of this
+// repo — the sequential engine round loop (with the observability layer
+// disabled and enabled), the incremental kernel solve on a worst-case
+// schedule, a full smoke sweep campaign, and the raw obs handle
+// operations — and writes the results as JSON (BENCH_PR3.json). The
+// committed snapshot is the reference point for spotting regressions in
+// the hot paths the obs layer instruments; the disabled/enabled benchmark
+// pairs quantify the instrumentation overhead itself.
+//
+// Usage:
+//
+//	perfbaseline [-o BENCH_PR3.json] [-filter substring]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure. perfbaseline
+// manages the process-wide obs collector itself (the observed-variant
+// benchmarks install one), so it does not take the shared -metrics/-pprof
+// flags.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"anondyn/internal/cli"
+	"anondyn/internal/core"
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/obs"
+	engine "anondyn/internal/runtime"
+	"anondyn/internal/sweep"
+)
+
+func main() {
+	cli.Main("perfbaseline", run)
+}
+
+// benchResult is one benchmark's numbers, flattened for stable JSON.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// baseline is the BENCH_PR3.json payload. It carries the toolchain and
+// platform (numbers are meaningless without them) but deliberately no
+// timestamp, so regenerating on the same machine produces minimal diffs.
+type baseline struct {
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("perfbaseline", flag.ContinueOnError)
+	outPath := fs.String("o", "BENCH_PR3.json", "output `file` (\"-\" for stdout only)")
+	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapUsage(err)
+	}
+
+	dir, err := os.MkdirTemp("", "perfbaseline-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	workloads := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"runtime/round-loop/disabled", roundLoopBench(false)},
+		{"runtime/round-loop/observed", roundLoopBench(true)},
+		{"kernel/incremental-solve/n364", kernelBench},
+		{"sweep/smoke-campaign", sweepBench(dir)},
+		{"obs/counter+histogram/disabled", obsHandleBench(false)},
+		{"obs/counter+histogram/enabled", obsHandleBench(true)},
+	}
+
+	bl := baseline{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, w := range workloads {
+		if *filter != "" && !strings.Contains(w.name, *filter) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped before %s: %w", w.name, err)
+		}
+		r := testing.Benchmark(w.fn)
+		res := benchResult{
+			Name:        w.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		bl.Benchmarks = append(bl.Benchmarks, res)
+		// Progress is a diagnostic: keep stdout clean so "-o -" pipes.
+		fmt.Fprintf(os.Stderr, "%-34s  %12d iter  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	if len(bl.Benchmarks) == 0 {
+		return cli.Usagef("no benchmarks match -filter %q", *filter)
+	}
+
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	return nil
+}
+
+// floodProc is the minimal engine workload: node 0 floods a token through
+// a static cycle, exercising send, canonical delivery, and receive each
+// round with cheap protocol logic so the engine's own cost dominates.
+type floodProc struct{ seen bool }
+
+func (p *floodProc) Send(int) engine.Message {
+	if p.seen {
+		return 1
+	}
+	return 0
+}
+
+func (p *floodProc) Receive(_ int, msgs []engine.Message) {
+	for _, m := range msgs {
+		if m == 1 {
+			p.seen = true
+		}
+	}
+}
+
+func floodCanon(m engine.Message) string {
+	if m == 1 {
+		return "1"
+	}
+	return "0"
+}
+
+const (
+	benchNodes  = 64
+	benchRounds = 32
+)
+
+func roundLoopBench(observed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := obs.Global()
+		defer obs.Set(prev)
+		if observed {
+			obs.Enable()
+		} else {
+			obs.Set(nil)
+		}
+		g, err := graph.Cycle(benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := dynet.NewStatic(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			procs := make([]engine.Process, benchNodes)
+			for j := range procs {
+				procs[j] = &floodProc{seen: j == 0}
+			}
+			cfg := &engine.Config{Net: net, Procs: procs, MaxRounds: benchRounds, Canon: floodCanon}
+			if _, err := engine.RunSequential(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func kernelBench(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.WorstCaseCountRounds(364)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count != 364 {
+			b.Fatalf("count = %d, want 364", res.Count)
+		}
+	}
+}
+
+func sweepBench(dir string) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec, err := sweep.LoadSpec("smoke")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			journal := filepath.Join(dir, fmt.Sprintf("bench-%d.jsonl", i))
+			_, err := sweep.RunCampaign(context.Background(), spec, sweep.CampaignOptions{
+				Workers:     2,
+				JournalPath: journal,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = os.Remove(journal)
+		}
+	}
+}
+
+func obsHandleBench(enabled bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		var (
+			c *obs.Counter
+			h *obs.Histogram
+		)
+		if enabled {
+			col := obs.New()
+			c = col.Counter("bench.counter")
+			h = col.Histogram("bench.histogram")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			start := h.Start()
+			h.Stop(start)
+		}
+	}
+}

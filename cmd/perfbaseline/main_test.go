@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anondyn/internal/cli"
+)
+
+// The full suite takes ~1s per benchmark, so tests exercise only the
+// cheapest workload through the real pipeline and check the JSON shape.
+func TestRunWritesBaselineJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-o", path, "-filter", "obs/counter+histogram/disabled"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bl baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if bl.Go == "" || bl.GOARCH == "" {
+		t.Fatalf("missing toolchain metadata: %+v", bl)
+	}
+	if len(bl.Benchmarks) != 1 || bl.Benchmarks[0].Name != "obs/counter+histogram/disabled" {
+		t.Fatalf("unexpected benchmarks: %+v", bl.Benchmarks)
+	}
+	b := bl.Benchmarks[0]
+	if b.Iterations <= 0 || b.NsPerOp <= 0 {
+		t.Fatalf("degenerate benchmark result: %+v", b)
+	}
+	// The documented contract: disabled handles are free of allocation.
+	if b.AllocsPerOp != 0 {
+		t.Fatalf("disabled obs handles allocate %d allocs/op, want 0", b.AllocsPerOp)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nope"},                    // unknown flag
+		{"-filter", "no-such-bench"}, // filter matches nothing
+	} {
+		err := run(context.Background(), args, &strings.Builder{})
+		if cli.ExitCode(err) != cli.ExitUsage {
+			t.Fatalf("args %v: want usage error, got %v", args, err)
+		}
+	}
+}

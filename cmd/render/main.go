@@ -10,6 +10,11 @@
 // Rendering honors SIGINT/SIGTERM and -timeout, stopping between files.
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON metrics snapshot on exit, -pprof <addr> serves live /debug/pprof,
+// /debug/vars, and /metrics. Without either flag the instrumentation is
+// disabled and costs nothing.
+//
 // Render the .dot files with `dot -Tpng f1_round0.dot -o f1_round0.png`.
 package main
 
@@ -30,13 +35,18 @@ func main() {
 	cli.Main("render", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("render", flag.ContinueOnError)
 	dir := fs.String("dir", "figures", "output directory for .dot files")
 	timeout := fs.Duration("timeout", 0, "abort rendering after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if err := os.MkdirAll(*dir, 0o755); err != nil {

@@ -10,6 +10,11 @@
 //
 // The study honors SIGINT/SIGTERM and -timeout, stopping between trials.
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
+//
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON metrics snapshot on exit (solver calls, per-round solve time),
+// -pprof <addr> serves live /debug/pprof, /debug/vars, and /metrics.
+// Without either flag the instrumentation is disabled and costs nothing.
 package main
 
 import (
@@ -28,7 +33,7 @@ func main() {
 	cli.Main("study", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("study", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "13,40,121,364", "comma-separated network sizes")
 	trials := fs.Int("trials", 100, "random schedules per size")
@@ -36,9 +41,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "base seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	timeout := fs.Duration("timeout", 0, "abort the study after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	var sizes []int

@@ -10,11 +10,18 @@
 //
 //	sweep -spec figures|smoke|path.json [-workers N] [-out sweep.jsonl]
 //	      [-resume] [-retries N] [-maxjobs N] [-csv] [-timeout 1m]
+//	      [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Results go to stdout; progress and campaign accounting go to stderr, so
 // stdout can be diffed across runs. Exit codes: 0 success, 1 usage error,
 // 2 runtime failure (including an interrupted campaign — whose journal is
 // nevertheless durable and resumable).
+//
+// -metrics writes a JSON snapshot of the run's counters and histograms
+// (jobs executed, retries, queue depth, per-job and per-solver-round wall
+// time, journal append+fsync latency) on exit; -pprof serves live
+// /debug/pprof, /debug/vars, and /metrics on the given address. Without
+// either flag the instrumentation is disabled and costs nothing.
 package main
 
 import (
@@ -33,7 +40,7 @@ func main() {
 	cli.Main("sweep", run)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	specArg := fs.String("spec", "", "campaign spec: a built-in name (figures, smoke) or a JSON file path")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
@@ -43,6 +50,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxJobs := fs.Int("maxjobs", 0, "stop after executing this many jobs (0 = no limit); for resume drills")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	timeout := fs.Duration("timeout", 0, "abort the campaign after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
@@ -52,10 +60,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *workers < 1 {
 		return cli.Usagef("need -workers >= 1, got %d", *workers)
 	}
+	if *retries < 0 {
+		return cli.Usagef("need -retries >= 0, got %d", *retries)
+	}
+	if *maxJobs < 0 {
+		return cli.Usagef("need -maxjobs >= 0 (0 = no limit), got %d", *maxJobs)
+	}
 	spec, err := sweep.LoadSpec(*specArg)
 	if err != nil {
 		return cli.WrapUsage(err)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"anondyn/internal/cli"
+	"anondyn/internal/obs"
 	"anondyn/internal/sweep"
 )
 
@@ -83,13 +85,55 @@ func TestRunUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                  // missing -spec
 		{"-spec", "no-such-spec"},           // unknown spec
-		{"-spec", "smoke", "-workers", "0"}, // bad workers
-		{"-nope"},                           // bad flag
+		{"-spec", "smoke", "-workers", "0"},   // bad workers
+		{"-spec", "smoke", "-workers", "-3"},  // negative workers
+		{"-spec", "smoke", "-retries", "-1"},  // negative retries
+		{"-spec", "smoke", "-maxjobs", "-1"},  // negative maxjobs
+		{"-nope"},                             // bad flag
 	} {
 		err := run(context.Background(), args, &strings.Builder{})
 		if cli.ExitCode(err) != cli.ExitUsage {
 			t.Fatalf("args %v: want usage error, got %v", args, err)
 		}
+	}
+}
+
+// The -metrics acceptance check: a smoke campaign's snapshot must carry a
+// nonzero jobs/sec rate, journal append+fsync latency, and the per-round
+// solver wall-time histogram.
+func TestRunMetricsSnapshot(t *testing.T) {
+	// -metrics installs a process-wide collector; detach it so later tests
+	// in this package run unobserved again.
+	defer obs.Set(nil)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	args := []string{"-spec", "smoke", "-workers", "2",
+		"-out", filepath.Join(dir, "j.jsonl"), "-metrics", metricsPath}
+	if err := run(context.Background(), args, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if got := snap.Counters[obs.SweepJobs]; got != 8 { // smoke = 2 sizes × 4 trials
+		t.Errorf("%s = %d, want 8", obs.SweepJobs, got)
+	}
+	if rate := snap.Rates[obs.SweepJobs]; rate <= 0 {
+		t.Errorf("jobs/sec rate = %v, want > 0", rate)
+	}
+	if h := snap.Histograms[obs.SweepJournalAppendNS]; h.Count == 0 || h.Sum <= 0 {
+		t.Errorf("journal append+fsync histogram empty: %+v", h)
+	}
+	if h := snap.Histograms[obs.KernelRoundNS]; h.Count == 0 {
+		t.Errorf("per-round solver histogram empty: %+v", h)
+	}
+	if h := snap.Histograms[obs.SweepJobNS]; h.Count != 8 {
+		t.Errorf("per-job histogram count = %d, want 8", h.Count)
 	}
 }
 

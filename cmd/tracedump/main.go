@@ -10,6 +10,11 @@
 // Recording honors SIGINT/SIGTERM and -timeout.
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 //
+// The shared observability flags are accepted too: -metrics <file> writes
+// a JSON metrics snapshot on exit, -pprof <addr> serves live /debug/pprof,
+// /debug/vars, and /metrics. Without either flag the instrumentation is
+// disabled and costs nothing.
+//
 // With -twin the network runs the size-(n+1) twin schedule M' instead; the
 // leader transcript is byte-identical through the indistinguishability
 // horizon (compare two dumps to see it).
@@ -31,7 +36,7 @@ func main() {
 	cli.Main("tracedump", run)
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
 	n := fs.Int("n", 13, "number of counted nodes")
 	chainLen := fs.Int("chain", 0, "static chain length")
@@ -39,6 +44,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	twin := fs.Bool("twin", false, "run the size-(n+1) twin schedule M' instead of M")
 	rounds := fs.Int("rounds", 0, "rounds to record (default: the indistinguishability horizon)")
 	timeout := fs.Duration("timeout", 0, "abort recording after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
@@ -48,6 +54,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *chainLen < 0 {
 		return cli.Usagef("-chain must be >= 0, got %d", *chainLen)
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if err := ctx.Err(); err != nil {

@@ -97,10 +97,15 @@ func LowerBoundRoundsBig(n *big.Int) *big.Int {
 // separated from the 𝒢(PD)₂ core by a static chain, so every observation
 // reaches it delay rounds late and counting needs at least
 // delay + LowerBoundRounds(n) rounds, where delay = D - 2 is the extra
-// distance beyond the PD₂ core's own depth.
+// distance beyond the PD₂ core's own depth. The sum saturates at
+// math.MaxInt: a delay near MaxInt must not wrap the bound negative.
 func ChainLowerBoundRounds(n, delay int) int {
 	if delay < 0 {
 		delay = 0
 	}
-	return delay + LowerBoundRounds(n)
+	bound := LowerBoundRounds(n)
+	if delay > math.MaxInt-bound {
+		return math.MaxInt
+	}
+	return delay + bound
 }

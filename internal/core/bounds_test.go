@@ -102,6 +102,29 @@ func TestChainLowerBoundRounds(t *testing.T) {
 	}
 }
 
+// The Corollary 1 sum must saturate rather than wrap when delay is near
+// MaxInt (delay + bound previously overflowed to a negative round count).
+func TestChainLowerBoundRoundsSaturates(t *testing.T) {
+	bound := LowerBoundRounds(4) // 3
+	// Exact at the last representable sum.
+	if got := ChainLowerBoundRounds(4, math.MaxInt-bound); got != math.MaxInt {
+		t.Fatalf("ChainLowerBoundRounds(4, MaxInt-%d) = %d, want MaxInt", bound, got)
+	}
+	for _, delay := range []int{math.MaxInt - bound + 1, math.MaxInt - 1, math.MaxInt} {
+		got := ChainLowerBoundRounds(4, delay)
+		if got != math.MaxInt {
+			t.Errorf("ChainLowerBoundRounds(4, %d) = %d, want MaxInt saturation", delay, got)
+		}
+		if got < 0 {
+			t.Errorf("ChainLowerBoundRounds(4, %d) wrapped negative: %d", delay, got)
+		}
+	}
+	// Saturation also holds when the bound itself is large (huge n).
+	if got := ChainLowerBoundRounds(math.MaxInt, math.MaxInt); got != math.MaxInt {
+		t.Errorf("ChainLowerBoundRounds(MaxInt, MaxInt) = %d, want MaxInt", got)
+	}
+}
+
 // TestMaxIndistinguishableRoundsHugeSizes is the overflow regression test:
 // the old implementation compared pow*3 <= 2*n+1 in native int, which wraps
 // for n > MaxInt/2 (and for pow near MaxInt), silently truncating the loop.

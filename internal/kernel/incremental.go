@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anondyn/internal/multigraph"
+	anonobs "anondyn/internal/obs"
 )
 
 // IncrementalSolver maintains the leader's count interval across rounds
@@ -18,11 +19,19 @@ type IncrementalSolver struct {
 	rounds int
 	total  int // R1(⊥) + R2(⊥); n = total - c0
 	forms  []form
+
+	// obsRounds/obsRoundNS report per-round solve work through the
+	// process-wide collector; both nil (free) when the process is
+	// unobserved. Resolved once at construction, never per round.
+	obsRounds  *anonobs.Counter
+	obsRoundNS *anonobs.Histogram
 }
 
 // NewIncrementalSolver returns a solver with no observations yet.
 func NewIncrementalSolver() *IncrementalSolver {
-	return &IncrementalSolver{}
+	s := &IncrementalSolver{}
+	s.obsRounds, s.obsRoundNS = incrementalMetrics()
+	return s
 }
 
 // Rounds returns the number of observations added.
@@ -31,6 +40,11 @@ func (s *IncrementalSolver) Rounds() int { return s.rounds }
 // AddRound incorporates the observation of the next round (round index
 // s.Rounds()) and returns the updated interval of consistent sizes.
 func (s *IncrementalSolver) AddRound(obs multigraph.Observation) (Interval, error) {
+	start := s.obsRoundNS.Start()
+	defer func() {
+		s.obsRounds.Inc()
+		s.obsRoundNS.Stop(start)
+	}()
 	get := func(label int, y multigraph.History) int {
 		return obs[multigraph.ObsKey{Label: label, StateKey: y.Key()}]
 	}

@@ -9,6 +9,7 @@ package kernel
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 
 	"anondyn/internal/linalg"
@@ -16,18 +17,25 @@ import (
 )
 
 // Cols returns the number of columns of M_r for alphabet size k: the number
-// of node states at round r+1, (2^k - 1)^{r+1} (the paper's 3^{r+1}).
+// of node states at round r+1, (2^k - 1)^{r+1} (the paper's 3^{r+1}). Like
+// HistoryCount it saturates at math.MaxInt (r >= 39 for k = 2) instead of
+// wrapping.
 func Cols(r, k int) int {
 	return multigraph.HistoryCount(r+1, k)
 }
 
 // Rows returns the number of rows of M_r: one per leader connection
 // (j, S(v, r')) over rounds r' = 0..r, i.e. k * Σ_{i=0}^{r} (2^k - 1)^i
-// (the paper's 2 Σ 3^i).
+// (the paper's 2 Σ 3^i). The sum saturates at math.MaxInt instead of
+// wrapping at large r.
 func Rows(r, k int) int {
 	total := 0
 	for i := 0; i <= r; i++ {
-		total += k * multigraph.HistoryCount(i, k)
+		h := multigraph.HistoryCount(i, k)
+		if h > math.MaxInt/k || total > math.MaxInt-k*h {
+			return math.MaxInt
+		}
+		total += k * h
 	}
 	return total
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"math"
 	"math/big"
 	"testing"
 
@@ -25,6 +26,36 @@ func TestDimensions(t *testing.T) {
 		}
 		if got := Cols(tc.r, tc.k); got != tc.cols {
 			t.Errorf("Cols(%d,%d) = %d, want %d", tc.r, tc.k, got, tc.cols)
+		}
+	}
+}
+
+func TestDimensionsSaturateAtMaxInt(t *testing.T) {
+	// Cols(r,2) = 3^{r+1}: r = 38 is the last exact power (3^39), r = 39
+	// the first saturated one. Rows sums k·3^i and crosses MaxInt at the
+	// same order of magnitude; before the guards both wrapped.
+	exact := 1
+	for i := 0; i < 39; i++ {
+		exact *= 3
+	}
+	if got := Cols(38, 2); got != exact {
+		t.Fatalf("Cols(38,2) = %d, want exact 3^39 = %d", got, exact)
+	}
+	for _, r := range []int{39, 40, 100} {
+		if got := Cols(r, 2); got != math.MaxInt {
+			t.Errorf("Cols(%d,2) = %d, want MaxInt saturation", r, got)
+		}
+		if got := Rows(r, 2); got != math.MaxInt {
+			t.Errorf("Rows(%d,2) = %d, want MaxInt saturation", r, got)
+		}
+	}
+	// Exact just below the boundary: Rows(38,2) = 2·(3^39-1)/2 = 3^39 - 1.
+	if got := Rows(38, 2); got != exact-1 {
+		t.Fatalf("Rows(38,2) = %d, want 3^39 - 1 = %d", got, exact-1)
+	}
+	for r := 0; r < 45; r++ {
+		if Rows(r+1, 2) < Rows(r, 2) || Cols(r+1, 2) < Cols(r, 2) {
+			t.Fatalf("dimensions not monotone at r=%d", r)
 		}
 	}
 }

@@ -68,6 +68,7 @@ type form struct {
 // round ⌊log₃(2|W|+1)⌋ - 1, and for the adversarial configurations of
 // Lemma 5 it happens exactly one round later.
 func SolveCountInterval(view multigraph.LeaderView) (Interval, error) {
+	solveCalls().Inc()
 	t := len(view)
 	if t == 0 {
 		return Interval{MinSize: 0, Unbounded: true}, nil

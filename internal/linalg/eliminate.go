@@ -3,11 +3,26 @@ package linalg
 import (
 	"fmt"
 	"math/big"
+
+	"anondyn/internal/obs"
 )
 
 // rref computes the reduced row echelon form of m over the rationals.
 // It returns the RREF entries and the list of pivot columns.
+//
+// When a process-wide obs collector is installed, rref reports the number
+// of elimination pivots it consumes and the peak big.Int bit-length it
+// encounters in pivot rows (the quantity that governs rational-arithmetic
+// cost). Unobserved processes pay one nil check per rref call.
 func rref(m *Matrix) ([][]*big.Rat, []int) {
+	var (
+		pivotCtr *obs.Counter
+		peakBits *obs.Gauge
+	)
+	if col := obs.Global(); col != nil {
+		pivotCtr = col.Counter(obs.LinalgPivots)
+		peakBits = col.Gauge(obs.LinalgPeakBits)
+	}
 	rows, cols := m.rows, m.cols
 	a := make([][]*big.Rat, rows)
 	for i := 0; i < rows; i++ {
@@ -46,6 +61,21 @@ func rref(m *Matrix) ([][]*big.Rat, []int) {
 				t := new(big.Rat).Mul(f, a[r][j])
 				a[i][j].Sub(a[i][j], t)
 			}
+		}
+		pivotCtr.Inc()
+		if peakBits != nil {
+			// Track the widest numerator/denominator in the pivot row —
+			// the coefficient growth exact elimination is paying for.
+			w := int64(0)
+			for j := c; j < cols; j++ {
+				if b := int64(a[r][j].Num().BitLen()); b > w {
+					w = b
+				}
+				if b := int64(a[r][j].Denom().BitLen()); b > w {
+					w = b
+				}
+			}
+			peakBits.SetMax(w)
 		}
 		pivots = append(pivots, c)
 		r++

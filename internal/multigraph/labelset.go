@@ -15,6 +15,7 @@ package multigraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -208,11 +209,17 @@ func HistoryFromIndex(idx, length, k int) History {
 
 // HistoryCount returns the number of possible node states after `length`
 // rounds with alphabet size k: (2^k - 1)^length, the paper's 3^{r+1} column
-// count for k = 2.
+// count for k = 2. When the exact power exceeds math.MaxInt (length >= 40
+// for k = 2) the result saturates at math.MaxInt instead of wrapping —
+// callers sizing closed-form Σ⁻k_r quantities compare against it, and a
+// wrapped (negative or small) count would silently pass those comparisons.
 func HistoryCount(length, k int) int {
 	base := SymbolCount(k)
 	n := 1
 	for i := 0; i < length; i++ {
+		if n > math.MaxInt/base {
+			return math.MaxInt
+		}
 		n *= base
 	}
 	return n

@@ -1,6 +1,7 @@
 package multigraph
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -175,6 +176,32 @@ func TestHistoryCountGrowth(t *testing.T) {
 		if got := HistoryCount(r+1, 2); got != want {
 			t.Fatalf("HistoryCount(%d,2) = %d, want %d", r+1, got, want)
 		}
+	}
+}
+
+func TestHistoryCountSaturatesAtMaxInt(t *testing.T) {
+	// 3^39 < MaxInt64 < 3^40: length 39 is the last exact power, 40 the
+	// first saturated one. Before the guard, 40 wrapped to a bogus
+	// in-range value instead of saturating.
+	exact := 1
+	for i := 0; i < 39; i++ {
+		exact *= 3
+	}
+	if got := HistoryCount(39, 2); got != exact {
+		t.Fatalf("HistoryCount(39,2) = %d, want exact 3^39 = %d", got, exact)
+	}
+	for _, length := range []int{40, 41, 100, 1 << 20} {
+		if got := HistoryCount(length, 2); got != math.MaxInt {
+			t.Fatalf("HistoryCount(%d,2) = %d, want MaxInt saturation", length, got)
+		}
+	}
+	// Monotonicity across the boundary — the property overflow broke.
+	if HistoryCount(40, 2) < HistoryCount(39, 2) {
+		t.Fatal("HistoryCount not monotone across the saturation boundary")
+	}
+	// k=3 (alphabet base 7) saturates earlier but the same way.
+	if got := HistoryCount(100, 3); got != math.MaxInt {
+		t.Fatalf("HistoryCount(100,3) = %d, want MaxInt saturation", got)
 	}
 }
 

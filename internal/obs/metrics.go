@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. All methods are safe
+// on a nil receiver (the disabled state) and for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds delta (negative deltas are permitted but unconventional).
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count; 0 on a nil handle.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level: queue depth, peak bit-length, pool size.
+// All methods are safe on a nil receiver and for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current level — a
+// monotone high-water mark (peak big.Int bit-length, max queue depth).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level; 0 on a nil handle.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds values v with
+// bit-length i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0). 64
+// buckets cover the full int64 range, so Observe never clamps.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed distribution, sized for
+// nanosecond durations but unit-agnostic. All methods are safe on a nil
+// receiver and for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps a sample to its log2 bucket: 0 for v <= 0, else the
+// bit-length of v.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Start begins timing a duration sample. On a nil handle it returns the
+// zero Time without consulting the clock, so a disabled timing site costs
+// one branch.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop records the nanoseconds elapsed since start (a Start result). A nil
+// handle no-ops, pairing with the nil Start.
+func (h *Histogram) Stop(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of samples recorded; 0 on a nil handle.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	c := New()
+	ctr := c.Counter("x.count")
+	ctr.Inc()
+	ctr.Add(4)
+	if got := ctr.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c.Counter("x.count") != ctr {
+		t.Fatal("re-registering a counter must return the same handle")
+	}
+
+	g := c.Gauge("x.depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax(3) lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("SetMax(11) = %d, want 11", got)
+	}
+
+	h := c.Histogram("x.ns")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("histogram count = %d, want 5", got)
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var c *Collector
+	// Every accessor on a nil collector returns a nil handle; every
+	// operation on a nil handle is a no-op. None of this may panic.
+	ctr := c.Counter(RuntimeRounds)
+	ctr.Inc()
+	ctr.Add(10)
+	if ctr.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := c.Gauge(SweepQueueDepth)
+	g.Set(5)
+	g.Add(1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := c.Histogram(RuntimeRoundNS)
+	start := h.Start()
+	if !start.IsZero() {
+		t.Fatal("nil histogram Start must not consult the clock")
+	}
+	h.Stop(start)
+	h.Observe(42)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil collector snapshot must be nil")
+	}
+}
+
+// TestDisabledHandlesAllocateNothing locks the package contract: with a
+// nil collector, a full set of instrumentation operations allocates
+// nothing. This is what lets the runtime round loop and the sweep engine
+// carry instrumentation unconditionally.
+func TestDisabledHandlesAllocateNothing(t *testing.T) {
+	var c *Collector
+	ctr := c.Counter(RuntimeRounds)
+	g := c.Gauge(SweepQueueDepth)
+	h := c.Histogram(RuntimeRoundNS)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr.Inc()
+		ctr.Add(3)
+		g.Set(1)
+		g.SetMax(2)
+		start := h.Start()
+		h.Stop(start)
+		h.Observe(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// Enabled steady-state operations must not allocate either (registration
+// may; per-event operations may not), so enabling metrics never changes
+// the allocation profile of a hot loop.
+func TestEnabledHandlesAllocateNothingSteadyState(t *testing.T) {
+	c := New()
+	ctr := c.Counter(RuntimeRounds)
+	g := c.Gauge(SweepQueueDepth)
+	h := c.Histogram(RuntimeRoundNS)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr.Inc()
+		g.SetMax(7)
+		h.Observe(123)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled steady-state instrumentation allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestHistogramSnapshotStatistics(t *testing.T) {
+	c := New()
+	h := c.Histogram("t.ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := c.Snapshot().Histograms["t.ns"]
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.Sum != 5050 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+	// Log2 buckets give upper bounds: the true p50 is 50, its bucket's
+	// upper bound is 63; p99 is 99 -> bucket le=127.
+	if s.P50 != 63 || s.P90 != 127 || s.P99 != 127 {
+		t.Fatalf("quantiles = p50:%d p90:%d p99:%d", s.P50, s.P90, s.P99)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d, want 100", total)
+	}
+}
+
+func TestHistogramEmptyAndNegativeSamples(t *testing.T) {
+	c := New()
+	empty := c.Snapshot()
+	if len(empty.Histograms) != 0 {
+		t.Fatalf("unexpected histograms: %v", empty.Names())
+	}
+	h := c.Histogram("t.ns")
+	hs := c.Snapshot().Histograms["t.ns"]
+	if hs.Count != 0 || hs.Min != 0 || hs.Max != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", hs)
+	}
+	h.Observe(-5)
+	h.Observe(0)
+	hs = c.Snapshot().Histograms["t.ns"]
+	if hs.Count != 2 || hs.Min != -5 || hs.Max != 0 {
+		t.Fatalf("non-positive samples snapshot = %+v", hs)
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Le != 0 || hs.Buckets[0].Count != 2 {
+		t.Fatalf("non-positive samples must land in the le=0 bucket: %+v", hs.Buckets)
+	}
+}
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := map[int64]int{
+		math.MinInt64: 0, -1: 0, 0: 0,
+		1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4,
+		math.MaxInt64: 63,
+	}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSnapshotRates(t *testing.T) {
+	c := New()
+	c.start = time.Now().Add(-2 * time.Second) // pin a nonzero uptime
+	c.Counter(SweepJobs).Add(100)
+	s := c.Snapshot()
+	if s.UptimeSeconds < 2 {
+		t.Fatalf("uptime = %v", s.UptimeSeconds)
+	}
+	rate := s.Rates[SweepJobs]
+	if rate <= 0 || rate > 50.5 {
+		t.Fatalf("jobs/sec = %v, want ~<=50", rate)
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	c := New()
+	c.Counter(RuntimeRounds).Add(7)
+	c.Gauge(SweepQueueDepth).Set(3)
+	c.Histogram(RuntimeRoundNS).Observe(1500)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if s.Counters[RuntimeRounds] != 7 || s.Gauges[SweepQueueDepth] != 3 {
+		t.Fatalf("round-trip lost values: %+v", s)
+	}
+	if s.Histograms[RuntimeRoundNS].Count != 1 {
+		t.Fatalf("round-trip lost histogram: %+v", s.Histograms)
+	}
+
+	// A nil collector writes JSON null — an explicit "nothing collected".
+	var disabled *Collector
+	nullPath := filepath.Join(t.TempDir(), "null.json")
+	if err := disabled.WriteFile(nullPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(nullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "null\n" {
+		t.Fatalf("nil snapshot file = %q, want null", raw)
+	}
+}
+
+func TestGlobalInstallAndReset(t *testing.T) {
+	prev := Global()
+	defer Set(prev)
+	Set(nil)
+	if Global() != nil {
+		t.Fatal("global must start nil")
+	}
+	c := Enable()
+	if Global() != c {
+		t.Fatal("Enable must install the returned collector")
+	}
+	Set(nil)
+	if Global() != nil {
+		t.Fatal("Set(nil) must disable the global collector")
+	}
+}
+
+func TestConcurrentUseIsRaceClean(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctr := c.Counter(SweepJobs)
+			g := c.Gauge(SweepQueueDepth)
+			h := c.Histogram(SweepJobNS)
+			for i := 0; i < 500; i++ {
+				ctr.Inc()
+				g.Add(1)
+				g.SetMax(int64(i))
+				h.Observe(int64(i % 37))
+				if i%100 == 0 {
+					_ = c.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Counters[SweepJobs] != 8*500 {
+		t.Fatalf("counter = %d, want %d", s.Counters[SweepJobs], 8*500)
+	}
+	if s.Histograms[SweepJobNS].Count != 8*500 {
+		t.Fatalf("histogram count = %d", s.Histograms[SweepJobNS].Count)
+	}
+}
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Collector
+	ctr := c.Counter(RuntimeRounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramStartStop(b *testing.B) {
+	var c *Collector
+	h := c.Histogram(RuntimeRoundNS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Stop(h.Start())
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	h := New().Histogram(RuntimeRoundNS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time JSON view of a collector — the payload of the
+// -metrics flag and of the /metrics endpoint served with -pprof. Metric
+// reads are atomic per metric but the snapshot as a whole is not a
+// consistent cut; it is a diagnostic artifact, not a ledger.
+type Snapshot struct {
+	// UptimeSeconds is the collector's age, the denominator of Rates.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Counters holds every counter's current value by name.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Rates holds value/uptime for every counter, in events per second
+	// (e.g. sweep.jobs_executed -> jobs/sec).
+	Rates map[string]float64 `json:"rates_per_sec,omitempty"`
+	// Gauges holds every gauge's current level by name.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds every histogram's distribution by name.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot summarizes one histogram. Min/Max/Sum/Mean are exact;
+// the percentiles are upper bounds read off the log2 buckets (within 2x of
+// the true value), which is the precision latency triage needs.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	// Buckets lists the non-empty log2 buckets in ascending order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty log2 bucket: Count samples v with v <= Le (and
+// greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot captures the collector's current state. On a nil collector it
+// returns nil, which JSON-encodes as null.
+func (c *Collector) Snapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Snapshot{
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		Counters:      make(map[string]int64, len(c.counters)),
+		Rates:         make(map[string]float64, len(c.counters)),
+		Gauges:        make(map[string]int64, len(c.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(c.hists)),
+	}
+	for name, ctr := range c.counters {
+		v := ctr.Value()
+		s.Counters[name] = v
+		if s.UptimeSeconds > 0 {
+			s.Rates[name] = float64(v) / s.UptimeSeconds
+		}
+	}
+	for name, g := range c.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range c.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if hs.Count == 0 {
+		return hs
+	}
+	hs.Min = h.min.Load()
+	hs.Max = h.max.Load()
+	hs.Mean = float64(hs.Sum) / float64(hs.Count)
+
+	counts := make([]int64, histBuckets)
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	// Upper bound of bucket i is 2^i - 1 (bucket 0: v <= 0).
+	le := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		if i >= 63 {
+			return int64(^uint64(0) >> 1)
+		}
+		return int64(1)<<i - 1
+	}
+	quantile := func(p float64) int64 {
+		// Nearest-rank over the bucketed sample, in exact integer
+		// arithmetic (see sweep.Distribution for the same convention).
+		rank := int64(p*100)*(total-1)/100 + 1
+		seen := int64(0)
+		for i := 0; i < histBuckets; i++ {
+			seen += counts[i]
+			if seen >= rank {
+				return le(i)
+			}
+		}
+		return hs.Max
+	}
+	hs.P50, hs.P90, hs.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	for i := 0; i < histBuckets; i++ {
+		if counts[i] > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le(i), Count: counts[i]})
+		}
+	}
+	return hs
+}
+
+// MarshalIndent renders the snapshot as stable, human-diffable JSON
+// (encoding/json sorts map keys).
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Names returns the sorted union of all metric names in the snapshot,
+// mostly for tests and summaries.
+func (s *Snapshot) Names() []string {
+	if s == nil {
+		return nil
+	}
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteFile snapshots the collector and writes it to path as indented
+// JSON — the implementation of the shared -metrics flag. A nil collector
+// writes "null", making an empty run distinguishable from a missing file.
+func (c *Collector) WriteFile(path string) error {
+	data, err := c.Snapshot().MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	m := cfg.metrics()
 	n := cfg.Net.N()
 	if n == 0 || cfg.MaxRounds == 0 {
 		return 0, nil
@@ -119,9 +120,11 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 
 	for r := 0; r < cfg.MaxRounds; r++ {
 		if err := ctx.Err(); err != nil {
+			m.cancels.Inc()
 			abortWorkers()
 			return r, canceled(r, err)
 		}
+		obsStart := m.roundNS.Start()
 		var (
 			roundTimer *time.Timer
 			deadlineC  <-chan time.Time
@@ -165,6 +168,7 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 			if roundTimer != nil {
 				roundTimer.Stop()
 			}
+			m.recordFailure(err)
 			abortWorkers()
 			return r, err
 		}
@@ -206,6 +210,9 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 		}
 
 		inboxes = assembleInboxes(cfg, g, outbox)
+		if m.messages != nil {
+			m.messages.Add(delivered(inboxes))
+		}
 		for v := 0; v < n; v++ {
 			deliver[v] <- struct{}{}
 		}
@@ -222,6 +229,8 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 				return fail(&RoundDeadlineError{Round: r, Limit: cfg.RoundDeadline})
 			}
 		}
+		m.rounds.Inc()
+		m.roundNS.Stop(obsStart)
 		if cfg.OnRound != nil {
 			cfg.OnRound(r)
 		}

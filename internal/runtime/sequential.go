@@ -31,12 +31,15 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	m := cfg.metrics()
 	n := cfg.Net.N()
 	outbox := make([]Message, n)
 	for r := 0; r < cfg.MaxRounds; r++ {
 		if err := ctx.Err(); err != nil {
+			m.cancels.Inc()
 			return r, canceled(r, err)
 		}
+		obsStart := m.roundNS.Start()
 		var roundStart time.Time
 		if cfg.RoundDeadline > 0 {
 			roundStart = time.Now()
@@ -52,6 +55,7 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 				if da, ok := cfg.Procs[v].(DegreeAware); ok {
 					deg := g.Degree(graph.NodeID(v))
 					if err := guard(v, r, func() { da.SetDegree(r, deg) }); err != nil {
+						m.panics.Inc()
 						return r, err
 					}
 				}
@@ -61,10 +65,12 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 		for v := 0; v < n; v++ {
 			p := cfg.Procs[v]
 			if err := guard(v, r, func() { outbox[v] = p.Send(r) }); err != nil {
+				m.panics.Inc()
 				return r, err
 			}
 		}
 		if err := ctx.Err(); err != nil {
+			m.cancels.Inc()
 			return r, canceled(r, err)
 		}
 		if cfg.Adaptive != nil {
@@ -77,18 +83,26 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 		}
 		// Receive phase.
 		inboxes := assembleInboxes(cfg, g, outbox)
+		if m.messages != nil {
+			m.messages.Add(delivered(inboxes))
+		}
 		for v := 0; v < n; v++ {
 			p := cfg.Procs[v]
 			if err := guard(v, r, func() { p.Receive(r, inboxes[v]) }); err != nil {
+				m.panics.Inc()
 				return r, err
 			}
 		}
 		if err := ctx.Err(); err != nil {
+			m.cancels.Inc()
 			return r, canceled(r, err)
 		}
 		if cfg.RoundDeadline > 0 && time.Since(roundStart) > cfg.RoundDeadline {
+			m.deadlines.Inc()
 			return r, &RoundDeadlineError{Round: r, Limit: cfg.RoundDeadline}
 		}
+		m.rounds.Inc()
+		m.roundNS.Stop(obsStart)
 		if cfg.OnRound != nil {
 			cfg.OnRound(r)
 		}

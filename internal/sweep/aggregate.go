@@ -25,6 +25,14 @@ type Dist struct {
 // Distribution summarizes raw round counts; a negative count marks a
 // failed trial. It is the single definition of the repository's summary
 // statistics — montecarlo's Summary is computed through it.
+//
+// Percentile convention: Pxx is the sorted resolved sample's element at
+// index ⌊xx·(len-1)/100⌋, computed in exact integer arithmetic (the
+// nearest-rank-below rule; float multiplication would under-index exact
+// ranks — 0.99 has no finite binary representation, so 0.99*100 truncates
+// to 98). Edge cases: with no resolved trials Mean, Min, Max, and every
+// percentile are 0 (Failures still counts); with one resolved trial every
+// percentile equals that value.
 func Distribution(rounds []int) Dist {
 	d := Dist{Trials: len(rounds), Min: math.MaxInt}
 	var ok []int
@@ -49,10 +57,10 @@ func Distribution(rounds []int) Dist {
 	}
 	d.Mean = float64(total) / float64(len(ok))
 	sort.Ints(ok)
-	q := func(p float64) int {
-		return ok[int(p*float64(len(ok)-1))]
+	q := func(pNum int) int {
+		return ok[pNum*(len(ok)-1)/100]
 	}
-	d.P50, d.P90, d.P99 = q(0.50), q(0.90), q(0.99)
+	d.P50, d.P90, d.P99 = q(50), q(90), q(99)
 	return d
 }
 
@@ -104,15 +112,16 @@ func Aggregate(results []Result) []GroupStat {
 	return stats
 }
 
-// FormatTable renders group stats as an aligned text table, matching the
-// layout cmd/study prints for its comparisons.
+// FormatTable renders group stats as an aligned text table, carrying the
+// same columns in the same order as FormatCSV so the two renderings of a
+// campaign never disagree on what was measured.
 func FormatTable(stats []GroupStat) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-16s  %8s  %6s  %8s  %5s  %5s  %5s  %5s  %8s\n",
-		"proto", "n", "trials", "mean", "p50", "p90", "p99", "max", "failures")
+	fmt.Fprintf(&sb, "%-16s  %8s  %6s  %8s  %5s  %5s  %5s  %5s  %5s  %8s\n",
+		"proto", "n", "trials", "mean", "min", "p50", "p90", "p99", "max", "failures")
 	for _, s := range stats {
-		fmt.Fprintf(&sb, "%-16s  %8d  %6d  %8.2f  %5d  %5d  %5d  %5d  %8d\n",
-			s.Proto, s.N, s.Trials, s.Mean, s.P50, s.P90, s.P99, s.Max, s.Failures)
+		fmt.Fprintf(&sb, "%-16s  %8d  %6d  %8.2f  %5d  %5d  %5d  %5d  %5d  %8d\n",
+			s.Proto, s.N, s.Trials, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max, s.Failures)
 	}
 	return sb.String()
 }

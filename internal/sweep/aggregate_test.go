@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDistributionPercentileConvention(t *testing.T) {
+	// seq(n) = [1, 2, ..., n], so the element at rank index i is i+1 and
+	// every expectation below is readable directly off the convention
+	// Pxx = sample[xx*(n-1)/100].
+	seq := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	cases := []struct {
+		name          string
+		rounds        []int
+		p50, p90, p99 int
+		min, max      int
+		failures      int
+	}{
+		{name: "empty", rounds: nil},
+		{name: "all failures", rounds: []int{-1, -1, -1}, failures: 3},
+		{name: "single", rounds: []int{7}, p50: 7, p90: 7, p99: 7, min: 7, max: 7},
+		{name: "single with failures", rounds: []int{-1, 7, -1}, p50: 7, p90: 7, p99: 7, min: 7, max: 7, failures: 2},
+		{name: "two", rounds: []int{3, 9}, p50: 3, p90: 3, p99: 3, min: 3, max: 9},
+		// 10 samples: indices 4, 8, 8.
+		{name: "ten", rounds: seq(10), p50: 5, p90: 9, p99: 9, min: 1, max: 10},
+		// 11 samples: 50*10/100 = 5, 90*10/100 = 9, 99*10/100 = 9.
+		{name: "eleven", rounds: seq(11), p50: 6, p90: 10, p99: 10, min: 1, max: 11},
+		// 100 samples: 99*99/100 = 98 — and float 0.99*99 = 98.01 agrees.
+		{name: "hundred", rounds: seq(100), p50: 50, p90: 90, p99: 99, min: 1, max: 100},
+		// 101 samples: the ranks are exact integers (50, 90, 99), the case
+		// where float arithmetic under-indexed: 0.99*100 truncated to 98.
+		{name: "hundred and one", rounds: seq(101), p50: 51, p90: 91, p99: 100, min: 1, max: 101},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Distribution(tc.rounds)
+			if d.Trials != len(tc.rounds) || d.Failures != tc.failures {
+				t.Fatalf("trials/failures = %d/%d, want %d/%d", d.Trials, d.Failures, len(tc.rounds), tc.failures)
+			}
+			got := [5]int{d.P50, d.P90, d.P99, d.Min, d.Max}
+			want := [5]int{tc.p50, tc.p90, tc.p99, tc.min, tc.max}
+			if got != want {
+				t.Fatalf("p50/p90/p99/min/max = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestDistributionMeanSkipsFailures(t *testing.T) {
+	d := Distribution([]int{2, -1, 4})
+	if d.Mean != 3.0 {
+		t.Fatalf("mean = %v, want 3.0 (failures excluded)", d.Mean)
+	}
+	if d.Trials != 3 || d.Failures != 1 {
+		t.Fatalf("trials/failures = %d/%d, want 3/1", d.Trials, d.Failures)
+	}
+}
+
+// The two renderings must agree column for column; these goldens lock the
+// layout, including the min column the table historically dropped.
+func TestFormatGoldens(t *testing.T) {
+	stats := []GroupStat{
+		{Proto: "mdbl-count", N: 13, Dist: Dist{Trials: 4, Mean: 2.25, Min: 2, Max: 3, P50: 2, P90: 3, P99: 3}},
+		{Proto: "mdbl-count", N: 40, Dist: Dist{Trials: 4, Failures: 1, Mean: 3, Min: 3, Max: 3, P50: 3, P90: 3, P99: 3}},
+	}
+	wantTable := "" +
+		"proto                    n  trials      mean    min    p50    p90    p99    max  failures\n" +
+		"mdbl-count              13       4      2.25      2      2      3      3      3         0\n" +
+		"mdbl-count              40       4      3.00      3      3      3      3      3         1\n"
+	if got := FormatTable(stats); got != wantTable {
+		t.Errorf("FormatTable:\n%q\nwant:\n%q", got, wantTable)
+	}
+	wantCSV := "" +
+		"proto,n,trials,mean,min,p50,p90,p99,max,failures\n" +
+		"mdbl-count,13,4,2.250,2,2,3,3,3,0\n" +
+		"mdbl-count,40,4,3.000,3,3,3,3,3,1\n"
+	if got := FormatCSV(stats); got != wantCSV {
+		t.Errorf("FormatCSV:\n%q\nwant:\n%q", got, wantCSV)
+	}
+}
+
+func TestAggregateOrderIndependent(t *testing.T) {
+	mk := func(proto string, n, rounds int, failed bool) Result {
+		return Result{Proto: proto, N: n, Rounds: rounds, Failed: failed}
+	}
+	results := []Result{
+		mk("b", 10, 3, false),
+		mk("a", 20, 5, false),
+		mk("a", 10, 2, false),
+		mk("a", 10, 4, false),
+		mk("a", 10, 0, true),
+	}
+	want := Aggregate(results)
+	// Reversed arrival order must aggregate identically.
+	rev := make([]Result, len(results))
+	for i, r := range results {
+		rev[len(results)-1-i] = r
+	}
+	got := Aggregate(rev)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("aggregation is order-dependent:\n%v\nvs\n%v", got, want)
+	}
+	if len(want) != 3 || want[0].Proto != "a" || want[0].N != 10 || want[0].Failures != 1 {
+		t.Fatalf("unexpected aggregation: %v", want)
+	}
+}

@@ -3,15 +3,19 @@ package sweep
 import (
 	"context"
 	"fmt"
+
+	"anondyn/internal/obs"
 )
 
 // CampaignOptions tunes RunCampaign.
 type CampaignOptions struct {
-	// Workers, MaxRetries, MaxJobs, and OnResult are passed to Run.
+	// Workers, MaxRetries, MaxJobs, OnResult, and Obs are passed to Run.
+	// Obs additionally observes the journal's append+fsync latency.
 	Workers    int
 	MaxRetries int
 	MaxJobs    int
 	OnResult   func(Result)
+	Obs        *obs.Collector
 	// JournalPath, if non-empty, streams completed jobs to this JSONL
 	// file. With Resume, the file's existing rows are loaded first and
 	// their jobs are not re-executed; without it the file is truncated.
@@ -52,6 +56,11 @@ func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*Campaig
 		MaxRetries: opts.MaxRetries,
 		MaxJobs:    opts.MaxJobs,
 		OnResult:   opts.OnResult,
+		Obs:        opts.Obs,
+	}
+	col := opts.Obs
+	if col == nil {
+		col = obs.Global()
 	}
 	if opts.JournalPath != "" {
 		if opts.Resume {
@@ -66,6 +75,9 @@ func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*Campaig
 			return nil, err
 		}
 		defer j.Close()
+		if col != nil {
+			j.Observe(col)
+		}
 		runOpts.Journal = j
 	}
 	rep, err := Run(ctx, jobs, fn, runOpts)

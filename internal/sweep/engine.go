@@ -8,6 +8,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"anondyn/internal/obs"
 )
 
 // Options tunes one engine run.
@@ -36,6 +38,11 @@ type Options struct {
 	// OnResult, if non-nil, observes each executed result. Calls are
 	// serialized but arrive in completion order, not job order.
 	OnResult func(Result)
+	// Obs, if non-nil, receives engine metrics (queue depth, executed
+	// jobs, retries, per-job wall time). Nil falls back to the
+	// process-wide collector (obs.Global), which is nil — and therefore
+	// free — unless the process opted in.
+	Obs *obs.Collector
 }
 
 // ErrJobLimit reports that Options.MaxJobs stopped the run early.
@@ -106,9 +113,13 @@ func Run(ctx context.Context, jobs []Job, fn ProtoFunc, opts Options) (*Report, 
 
 	e := &engine{
 		jobs: jobs, fn: fn, opts: opts, results: rep.Results,
+		m: newEngineMetrics(opts.Obs),
 	}
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	defer e.cancel()
+	// Queue depth starts at the pending count and drains to zero (or
+	// freezes where a fault stopped the run).
+	e.m.queueDepth.Set(int64(len(pending)))
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -177,6 +188,7 @@ type engine struct {
 	opts    Options
 	results []Result
 	shards  []shard
+	m       engineMetrics
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -249,7 +261,12 @@ func (e *engine) runJob(idx int) bool {
 			e.fail(err)
 			return false
 		}
+		if attempt > 0 {
+			e.m.retries.Inc()
+		}
+		jobStart := e.m.jobNS.Start()
 		res, err := guarded(e.ctx, e.fn, job)
+		e.m.jobNS.Stop(jobStart)
 		if err == nil {
 			res = normalize(res, job)
 			if e.opts.Journal != nil {
@@ -260,6 +277,8 @@ func (e *engine) runJob(idx int) bool {
 			}
 			e.results[idx] = res
 			e.completed.Add(1)
+			e.m.jobs.Inc()
+			e.m.queueDepth.Add(-1)
 			if e.opts.OnResult != nil {
 				e.mu.Lock()
 				e.opts.OnResult(res)

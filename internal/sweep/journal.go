@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"anondyn/internal/obs"
 )
 
 // Journal is the campaign's durable result stream: one JSON-encoded Result
@@ -17,6 +19,18 @@ import (
 type Journal struct {
 	mu sync.Mutex
 	f  *os.File
+	// appendNS, when non-nil, records the wall time of each Append —
+	// write plus fsync, the campaign's durability tax. Set via Observe.
+	appendNS *obs.Histogram
+}
+
+// Observe routes append+fsync latency into col's obs.SweepJournalAppendNS
+// histogram. A nil collector detaches the journal from observation again;
+// either way the append path itself is unchanged.
+func (j *Journal) Observe(col *obs.Collector) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendNS = col.Histogram(obs.SweepJournalAppendNS)
 }
 
 // OpenJournal opens the journal at path. With resume, existing rows are
@@ -46,6 +60,8 @@ func (j *Journal) Append(r Result) error {
 	data = append(data, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	start := j.appendNS.Start()
+	defer j.appendNS.Stop(start)
 	if _, err := j.f.Write(data); err != nil {
 		return fmt.Errorf("sweep: append journal row %s: %w", r.Key, err)
 	}

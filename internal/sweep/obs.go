@@ -1,0 +1,32 @@
+package sweep
+
+import "anondyn/internal/obs"
+
+// engineMetrics bundles the handles the worker pool touches. With
+// observability disabled every field is nil and every operation is a
+// single branch — the engine's throughput is unchanged (locked by
+// TestDisabledObsAddsNoAllocations and BenchmarkSweepEngine).
+type engineMetrics struct {
+	jobs       *obs.Counter   // jobs executed by this process
+	retries    *obs.Counter   // re-attempts after execution faults
+	queueDepth *obs.Gauge     // pending jobs not yet completed
+	jobNS      *obs.Histogram // per-job wall time
+}
+
+// newEngineMetrics resolves the run's collector: the explicit Options.Obs
+// when set, else the process-wide collector (nil when the process runs
+// unobserved). Handle lookup happens once per Run, never per job.
+func newEngineMetrics(col *obs.Collector) engineMetrics {
+	if col == nil {
+		col = obs.Global()
+	}
+	if col == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		jobs:       col.Counter(obs.SweepJobs),
+		retries:    col.Counter(obs.SweepRetries),
+		queueDepth: col.Gauge(obs.SweepQueueDepth),
+		jobNS:      col.Histogram(obs.SweepJobNS),
+	}
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"anondyn/internal/obs"
+)
+
+// The engine-side zero-cost contract: with no collector, resolving the
+// metric handles and driving every per-job operation allocates nothing.
+func TestDisabledObsAddsNoAllocations(t *testing.T) {
+	prev := obs.Global()
+	defer obs.Set(prev)
+	obs.Set(nil)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		m := newEngineMetrics(nil)
+		start := m.jobNS.Start()
+		m.jobs.Inc()
+		m.retries.Inc()
+		m.queueDepth.Add(-1)
+		m.jobNS.Stop(start)
+	}); allocs != 0 {
+		t.Fatalf("disabled obs sites allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRunObsCounts(t *testing.T) {
+	col := obs.New()
+	rep, err := Run(context.Background(), testJobs(12), double, Options{Workers: 3, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 12 {
+		t.Fatalf("executed %d, want 12", rep.Executed)
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters[obs.SweepJobs]; got != 12 {
+		t.Errorf("%s = %d, want 12", obs.SweepJobs, got)
+	}
+	if got := snap.Counters[obs.SweepRetries]; got != 0 {
+		t.Errorf("%s = %d, want 0", obs.SweepRetries, got)
+	}
+	// The queue drains to zero when every job completes.
+	if got := snap.Gauges[obs.SweepQueueDepth]; got != 0 {
+		t.Errorf("%s = %d, want 0 after drain", obs.SweepQueueDepth, got)
+	}
+	if h := snap.Histograms[obs.SweepJobNS]; h.Count != 12 {
+		t.Errorf("job histogram count = %d, want 12", h.Count)
+	}
+}
+
+func TestRunObsCountsRetries(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(_ context.Context, job Job) (Result, error) {
+		if job.Trial == 3 && calls.Add(1) == 1 {
+			panic("transient")
+		}
+		return Result{Rounds: job.Trial}, nil
+	}
+	col := obs.New()
+	if _, err := Run(context.Background(), testJobs(8), flaky, Options{Workers: 2, MaxRetries: 1, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters[obs.SweepRetries]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.SweepRetries, got)
+	}
+	if got := snap.Counters[obs.SweepJobs]; got != 8 {
+		t.Errorf("%s = %d, want 8", obs.SweepJobs, got)
+	}
+}
+
+func TestJournalObserveRecordsAppendLatency(t *testing.T) {
+	col := obs.New()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Observe(col)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Result{Key: testJobs(3)[i].Key, Rounds: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := col.Snapshot().Histograms[obs.SweepJournalAppendNS]
+	if h.Count != 3 || h.Sum <= 0 {
+		t.Fatalf("append histogram = %+v, want 3 timed fsynced appends", h)
+	}
+}
+
+// RunCampaign falls back to the process-wide collector when no explicit
+// collector is given — the -metrics flag path end to end.
+func TestRunCampaignObsGlobalFallback(t *testing.T) {
+	prev := obs.Global()
+	defer obs.Set(prev)
+	col := obs.New()
+	obs.Set(col)
+
+	spec, err := LoadSpec("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCampaign(context.Background(), spec, CampaignOptions{
+		Workers:     2,
+		JournalPath: filepath.Join(t.TempDir(), "j.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters[obs.SweepJobs]; got != int64(rep.Executed) {
+		t.Errorf("%s = %d, want %d", obs.SweepJobs, got, rep.Executed)
+	}
+	if h := snap.Histograms[obs.SweepJournalAppendNS]; h.Count == 0 {
+		t.Error("journal append histogram empty under global fallback")
+	}
+	// The smoke campaign's MDBL trials run through the incremental kernel
+	// solver, so per-round solve metrics must appear too.
+	if h := snap.Histograms[obs.KernelRoundNS]; h.Count == 0 {
+		t.Error("kernel per-round histogram empty under global fallback")
+	}
+}
