@@ -1,0 +1,122 @@
+// Command check runs the randomized verification harness: seeded campaigns
+// of generated adversary schedules, 𝒢(PD)₂ transformations, and Lemma-5
+// pairs, each checked against the registry of differential and metamorphic
+// oracles in internal/check. A failing property is shrunk to a minimal
+// counterexample and reported with a one-line replay command that
+// regenerates it deterministically.
+//
+// Usage:
+//
+//	check [-seed N] [-iters N] [-oracle name[,name...]] [-failures N]
+//	      [-budget N] [-timeout 1m] [-metrics metrics.json]
+//	      [-pprof localhost:6060]
+//	check -replay SEED -oracle name [-budget N]
+//	check -list
+//
+// Exit codes: 0 all properties held, 1 usage error, 2 at least one oracle
+// fired (each failure's replay command is printed). -metrics writes a JSON
+// snapshot of the harness counters (instances generated, oracle
+// evaluations, failures, shrink steps) plus whatever the instrumented
+// solvers recorded underneath; -pprof serves live /debug/pprof and
+// /metrics. Without either flag the instrumentation costs nothing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"anondyn/internal/check"
+	"anondyn/internal/cli"
+)
+
+func main() {
+	cli.Main("check", run)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "campaign seed; per-iteration seeds derive from it deterministically")
+	iters := fs.Int("iters", 500, "iterations per selected oracle")
+	oracle := fs.String("oracle", "", "comma-separated oracle subset (default: all); see -list")
+	replay := fs.Int64("replay", 0, "re-run one per-iteration seed from a failure report (requires a single -oracle)")
+	failures := fs.Int("failures", 1, "stop after this many failures")
+	budget := fs.Int("budget", check.DefaultShrinkBudget, "candidate evaluations spent shrinking each failure")
+	list := fs.Bool("list", false, "list registered oracles and exit")
+	timeout := fs.Duration("timeout", 0, "abort the campaign after this duration (0 = no limit)")
+	obsCfg := cli.ObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapUsage(err)
+	}
+	if *list {
+		for _, o := range check.Oracles() {
+			fmt.Fprintf(out, "%-12s %s\n", o.Name, o.Doc)
+		}
+		return nil
+	}
+	var names []string
+	if *oracle != "" {
+		for _, n := range strings.Split(*oracle, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, err := check.OracleByName(n); err != nil {
+			return cli.WrapUsage(err)
+		}
+	}
+	if *iters < 1 {
+		return cli.Usagef("need -iters >= 1, got %d", *iters)
+	}
+	if *failures < 1 {
+		return cli.Usagef("need -failures >= 1, got %d", *failures)
+	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	defer func() { err = obsCfg.Finish(err) }()
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	if *replay != 0 {
+		if len(names) != 1 {
+			return cli.Usagef("-replay needs exactly one -oracle, got %q", *oracle)
+		}
+		f, err := check.Replay(names[0], *replay, *budget)
+		if err != nil {
+			return cli.WrapUsage(err)
+		}
+		if f == nil {
+			fmt.Fprintf(out, "PASS %s seed=%d\n", names[0], *replay)
+			return nil
+		}
+		fmt.Fprintf(out, "FAIL %s seed=%d: %v\n  shrunk (%d steps): %s\n",
+			f.Oracle, f.Seed, f.Err, f.ShrinkSteps, f.Instance)
+		return fmt.Errorf("oracle %s failed on replayed seed %d", f.Oracle, f.Seed)
+	}
+
+	rep, err := check.Run(ctx, check.Options{
+		Seed:         *seed,
+		Iters:        *iters,
+		Oracles:      names,
+		MaxFailures:  *failures,
+		ShrinkBudget: *budget,
+		Out:          out,
+	})
+	if err != nil {
+		if cli.IsUsage(err) {
+			return err
+		}
+		return fmt.Errorf("campaign aborted after %d instances: %w", rep.Instances, err)
+	}
+	fmt.Fprintf(out, "check: seed=%d iters=%d: %d instances, %d oracle evals, %d failures\n",
+		*seed, *iters, rep.Instances, rep.Evals, len(rep.Failures))
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d oracle failure(s); replay commands above", len(rep.Failures))
+	}
+	return nil
+}

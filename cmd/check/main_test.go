@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anondyn/internal/cli"
+)
+
+// TestRunHealthyCampaign is the CLI acceptance path: a short seeded
+// campaign over all oracles exits clean and reports its accounting line.
+func TestRunHealthyCampaign(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-iters", "15", "-seed", "1"}, &sb); err != nil {
+		t.Fatalf("healthy campaign failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "check: seed=1 iters=15:") || !strings.Contains(out, "0 failures") {
+		t.Fatalf("missing accounting line:\n%s", out)
+	}
+}
+
+// TestRunList covers -list.
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"interval", "eliminate", "closedform", "pair", "transform", "relabel", "message", "monotone", "enumk"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("-list output missing oracle %q:\n%s", name, sb.String())
+		}
+	}
+}
+
+// TestRunReplayHealthySeed covers the replay path on a passing seed.
+func TestRunReplayHealthySeed(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-oracle", "interval", "-replay", "42"}, &sb); err != nil {
+		t.Fatalf("replay of healthy seed failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "PASS interval seed=42") {
+		t.Fatalf("missing PASS line:\n%s", sb.String())
+	}
+}
+
+// TestRunUsageErrors pins the exit-1 paths.
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-iters", "0"},
+		{"-failures", "0"},
+		{"-oracle", "nope"},
+		{"-replay", "7"},                          // no oracle
+		{"-replay", "7", "-oracle", "pair,enumk"}, // two oracles
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &strings.Builder{})
+		if err == nil || !cli.IsUsage(err) {
+			t.Errorf("args %v: want usage error, got %v", args, err)
+		}
+	}
+}
+
+// TestRunMetricsSnapshot checks that -metrics writes the harness counters.
+func TestRunMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-iters", "5", "-metrics", path}, &sb); err != nil {
+		t.Fatalf("campaign: %v\n%s", err, sb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot not JSON: %v", err)
+	}
+	blob := string(raw)
+	for _, metric := range []string{"check.instances_generated", "check.oracle_evals"} {
+		if !strings.Contains(blob, metric) {
+			t.Errorf("snapshot missing %s:\n%s", metric, blob)
+		}
+	}
+}

@@ -83,13 +83,13 @@ func TestRunSpecFileAndCSV(t *testing.T) {
 
 func TestRunUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
-		{},                                  // missing -spec
-		{"-spec", "no-such-spec"},           // unknown spec
-		{"-spec", "smoke", "-workers", "0"},   // bad workers
-		{"-spec", "smoke", "-workers", "-3"},  // negative workers
-		{"-spec", "smoke", "-retries", "-1"},  // negative retries
-		{"-spec", "smoke", "-maxjobs", "-1"},  // negative maxjobs
-		{"-nope"},                             // bad flag
+		{},                                   // missing -spec
+		{"-spec", "no-such-spec"},            // unknown spec
+		{"-spec", "smoke", "-workers", "0"},  // bad workers
+		{"-spec", "smoke", "-workers", "-3"}, // negative workers
+		{"-spec", "smoke", "-retries", "-1"}, // negative retries
+		{"-spec", "smoke", "-maxjobs", "-1"}, // negative maxjobs
+		{"-nope"},                            // bad flag
 	} {
 		err := run(context.Background(), args, &strings.Builder{})
 		if cli.ExitCode(err) != cli.ExitUsage {

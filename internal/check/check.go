@@ -1,0 +1,245 @@
+// Package check is the repo's seed-deterministic property-testing engine.
+// It draws randomized adversary schedules, 𝒢(PD)₂ transformations, and
+// Lemma-5 adversarial pairs from biased generators, and runs a registry of
+// differential and metamorphic oracles over them: every exact identity the
+// paper's claim chain rests on (incremental solver ≡ dense rational
+// elimination ≡ closed forms, multigraph-level leader ≡ message-level
+// protocol, relabeling and composition invariance, termination-round laws)
+// becomes a property checked on thousands of generated instances instead of
+// a handful of frozen grid points.
+//
+// Everything is reproducible: a campaign seed expands into per-(oracle,
+// iteration) seeds via the sweep package's SplitMix64 derivation, so a
+// failure report's one-line replay command regenerates the identical
+// instance, and the greedy shrinker's deterministic candidate order yields
+// the identical minimized counterexample. The harness validates itself with
+// a mutation smoke test (see RunMutant): every registered oracle must catch
+// each of its deliberately broken system variants, so a silently vacuous
+// oracle cannot ship.
+package check
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+
+	"anondyn/internal/sweep"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Seed is the campaign seed every per-iteration seed derives from.
+	Seed int64
+	// Iters is the number of instances generated per selected oracle.
+	Iters int
+	// Oracles selects a subset of the registry by name; empty means all.
+	Oracles []string
+	// MaxFailures stops the run early once this many oracle failures have
+	// been collected (they are shrunk and reported). Zero means 1.
+	MaxFailures int
+	// ShrinkBudget caps candidate evaluations per failure; zero means
+	// DefaultShrinkBudget.
+	ShrinkBudget int
+	// Out, when non-nil, receives progress and failure reports.
+	Out io.Writer
+}
+
+// Failure is one oracle violation, minimized and ready to replay.
+type Failure struct {
+	// Oracle is the registered oracle name.
+	Oracle string
+	// Iter is the iteration index within the run.
+	Iter int
+	// Seed is the per-iteration seed that regenerates the instance.
+	Seed int64
+	// Err is the oracle's complaint on the shrunk instance.
+	Err error
+	// Instance is the shrunk counterexample.
+	Instance *Instance
+	// ShrinkSteps counts candidate evaluations spent minimizing.
+	ShrinkSteps int
+}
+
+// ReplayCommand renders the one-line reproduction command.
+func (f *Failure) ReplayCommand() string {
+	return fmt.Sprintf("go run ./cmd/check -oracle %s -replay %d", f.Oracle, f.Seed)
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Instances and Evals count generated instances and oracle checks.
+	Instances, Evals int
+	// ShrinkSteps totals the shrinking work across failures.
+	ShrinkSteps int
+	// Failures holds every shrunk violation, in discovery order.
+	Failures []*Failure
+}
+
+// IterSeed derives the deterministic per-iteration seed for one oracle from
+// the campaign seed, using the same SplitMix64 expansion as sweep campaigns
+// so nearby campaign seeds and nearby iterations yield unrelated streams.
+func IterSeed(campaign int64, oracle string, iter int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(oracle))
+	return sweep.JobSeed(campaign, h.Sum64(), uint64(iter))
+}
+
+// selectOracles resolves the requested subset, defaulting to the full
+// registry in its deterministic order.
+func selectOracles(names []string) ([]*Oracle, error) {
+	if len(names) == 0 {
+		return Oracles(), nil
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var out []*Oracle
+	for _, name := range sorted {
+		o, err := OracleByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// newRng builds the deterministic per-instance generator stream for a
+// derived seed.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// safeCheck evaluates an oracle, converting a panic in the oracle or the
+// system under test into a reported failure: on a shrunk candidate the
+// implementations may be driven outside the envelope the original instance
+// exercised, and a crash is as much a counterexample as a wrong answer.
+func safeCheck(o *Oracle, inst *Instance, sys *System) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return o.Check(inst, sys)
+}
+
+// Run executes the campaign against the healthy system.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	return RunWithSystem(ctx, opts, Healthy())
+}
+
+// RunWithSystem executes the campaign against an explicit system — the
+// entry point the mutation smoke test drives with broken variants. The
+// returned error is non-nil only for configuration or context errors;
+// oracle violations are reported in Report.Failures.
+func RunWithSystem(ctx context.Context, opts Options, sys *System) (*Report, error) {
+	oracles, err := selectOracles(opts.Oracles)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Iters <= 0 {
+		return nil, fmt.Errorf("check: iters must be positive, got %d", opts.Iters)
+	}
+	maxFailures := opts.MaxFailures
+	if maxFailures <= 0 {
+		maxFailures = 1
+	}
+	met := newCheckMetrics()
+	rep := &Report{}
+	for iter := 0; iter < opts.Iters; iter++ {
+		for _, o := range oracles {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			seed := IterSeed(opts.Seed, o.Name, iter)
+			f := runOne(o, seed, sys, opts.ShrinkBudget, rep, met)
+			if f == nil {
+				continue
+			}
+			f.Iter = iter
+			rep.Failures = append(rep.Failures, f)
+			met.failures.Inc()
+			if opts.Out != nil {
+				fmt.Fprintf(opts.Out, "FAIL %s iter=%d seed=%d: %v\n  shrunk (%d steps): %s\n  replay: %s\n",
+					o.Name, iter, seed, f.Err, f.ShrinkSteps, f.Instance, f.ReplayCommand())
+			}
+			if len(rep.Failures) >= maxFailures {
+				return rep, nil
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runOne generates and checks a single instance, shrinking on failure.
+func runOne(o *Oracle, seed int64, sys *System, shrinkBudget int, rep *Report, met checkMetrics) *Failure {
+	rng := newRng(seed)
+	inst, err := o.Gen(rng)
+	if err != nil {
+		// A generator that cannot produce an instance is itself a failure:
+		// the generators are part of the trusted surface.
+		return &Failure{Oracle: o.Name, Seed: seed, Err: fmt.Errorf("generator: %w", err)}
+	}
+	rep.Instances++
+	met.instances.Inc()
+	rep.Evals++
+	met.evals.Inc()
+	if err := safeCheck(o, inst, sys); err == nil {
+		return nil
+	}
+	shrunk, steps := Shrink(inst, sys, func(i *Instance, s *System) error {
+		rep.Evals++
+		met.evals.Inc()
+		return safeCheck(o, i, s)
+	}, shrinkBudget)
+	rep.ShrinkSteps += steps
+	met.shrinkSteps.Add(int64(steps))
+	finalErr := safeCheck(o, shrunk, sys)
+	if finalErr == nil {
+		// Unreachable by construction (Shrink only moves to failing
+		// candidates), but never report a passing instance as the witness.
+		finalErr = fmt.Errorf("check: shrink lost the failure")
+		shrunk = inst
+	}
+	return &Failure{Oracle: o.Name, Seed: seed, Err: finalErr, Instance: shrunk, ShrinkSteps: steps}
+}
+
+// Replay regenerates the instance for one (oracle, per-iteration seed) pair
+// and re-runs the oracle against the healthy system, shrinking on failure
+// exactly as the original run did. It returns nil if the oracle passes.
+func Replay(oracleName string, seed int64, shrinkBudget int) (*Failure, error) {
+	o, err := OracleByName(oracleName)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	return runOne(o, seed, Healthy(), shrinkBudget, rep, newCheckMetrics()), nil
+}
+
+// RunMutant reports whether the oracle catches the mutant within iters
+// seeded iterations: for each iteration it generates the oracle's instance,
+// applies the mutant (a broken system variant or an instance corruption),
+// and checks whether the oracle fires. The mutation smoke test requires
+// true for every registered mutant — an oracle that cannot see its own
+// seeded faults is vacuous.
+func RunMutant(o *Oracle, m Mutant, campaign int64, iters int) bool {
+	for iter := 0; iter < iters; iter++ {
+		seed := IterSeed(campaign, o.Name+"/"+m.Name, iter)
+		rng := newRng(seed)
+		inst, err := o.Gen(rng)
+		if err != nil {
+			continue
+		}
+		sys := Healthy()
+		if m.Sys != nil {
+			m.Sys(sys)
+		}
+		if m.Corrupt != nil {
+			m.Corrupt(inst, rng)
+		}
+		if safeCheck(o, inst, sys) != nil {
+			return true
+		}
+	}
+	return false
+}

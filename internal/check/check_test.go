@@ -1,0 +1,255 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"anondyn/internal/kernel"
+	"anondyn/internal/multigraph"
+)
+
+// TestHealthyRun is the core acceptance property: on the healthy tree, no
+// oracle fires across a seeded campaign.
+func TestHealthyRun(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	rep, err := Run(context.Background(), Options{Seed: 1, Iters: iters})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("oracle %s fired on the healthy system (seed %d): %v\n  instance: %s\n  %s",
+			f.Oracle, f.Seed, f.Err, f.Instance, f.ReplayCommand())
+	}
+	wantInstances := iters * len(Oracles())
+	if rep.Instances != wantInstances {
+		t.Errorf("generated %d instances, want %d", rep.Instances, wantInstances)
+	}
+	if rep.Evals < rep.Instances {
+		t.Errorf("evals %d < instances %d", rep.Evals, rep.Instances)
+	}
+}
+
+// TestIterSeedDeterminism pins the seed derivation: same inputs, same seed;
+// different oracle or iteration, different stream.
+func TestIterSeedDeterminism(t *testing.T) {
+	a := IterSeed(1, "interval", 7)
+	if b := IterSeed(1, "interval", 7); b != a {
+		t.Fatalf("IterSeed not deterministic: %d vs %d", a, b)
+	}
+	if b := IterSeed(1, "interval", 8); b == a {
+		t.Errorf("adjacent iterations share seed %d", a)
+	}
+	if b := IterSeed(1, "eliminate", 7); b == a {
+		t.Errorf("different oracles share seed %d", a)
+	}
+	if b := IterSeed(2, "interval", 7); b == a {
+		t.Errorf("adjacent campaigns share seed %d", a)
+	}
+}
+
+// TestGeneratorsDeterministic verifies that every oracle's generator is a
+// pure function of the seed — the property replay depends on.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, o := range Oracles() {
+		for iter := 0; iter < 5; iter++ {
+			seed := IterSeed(3, o.Name, iter)
+			a := genAt(t, o, seed)
+			b := genAt(t, o, seed)
+			if a.String() != b.String() {
+				t.Errorf("%s: seed %d generated %s then %s", o.Name, seed, a, b)
+			}
+			va, err := a.M.LeaderView(a.M.Horizon())
+			if err != nil {
+				t.Fatalf("%s: view: %v", o.Name, err)
+			}
+			vb, err := b.M.LeaderView(b.M.Horizon())
+			if err != nil {
+				t.Fatalf("%s: view: %v", o.Name, err)
+			}
+			if !va.Equal(vb) {
+				t.Errorf("%s: seed %d generated differing views", o.Name, seed)
+			}
+		}
+	}
+}
+
+func genAt(t *testing.T, o *Oracle, seed int64) *Instance {
+	t.Helper()
+	inst, err := replayGen(o, seed)
+	if err != nil {
+		t.Fatalf("%s: gen at seed %d: %v", o.Name, seed, err)
+	}
+	return inst
+}
+
+// replayGen regenerates the instance a seed denotes, as Replay does.
+func replayGen(o *Oracle, seed int64) (*Instance, error) {
+	rng := newRng(seed)
+	return o.Gen(rng)
+}
+
+// TestReplayReproducesFailure injects a broken solver, finds a failure via
+// RunWithSystem, and confirms that the reported seed regenerates an
+// instance the same broken system fails on — the contract behind the
+// printed replay command.
+func TestReplayReproducesFailure(t *testing.T) {
+	broken := func() *System {
+		sys := Healthy()
+		inner := sys.Solve
+		sys.Solve = func(v multigraph.LeaderView) (kernel.Interval, error) {
+			iv, err := inner(v)
+			if err == nil && !iv.Empty && !iv.Unbounded {
+				iv.MaxSize += 2
+			}
+			return iv, err
+		}
+		return sys
+	}
+	var out strings.Builder
+	rep, err := RunWithSystem(context.Background(), Options{
+		Seed: 1, Iters: 30, Oracles: []string{"interval"}, Out: &out,
+	}, broken())
+	if err != nil {
+		t.Fatalf("RunWithSystem: %v", err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("widened solver never caught by the interval oracle")
+	}
+	f := rep.Failures[0]
+	if want := fmt.Sprintf("go run ./cmd/check -oracle interval -replay %d", f.Seed); f.ReplayCommand() != want {
+		t.Errorf("ReplayCommand() = %q, want %q", f.ReplayCommand(), want)
+	}
+	if !strings.Contains(out.String(), "replay: go run ./cmd/check -oracle interval -replay") {
+		t.Errorf("run output lacks replay line:\n%s", out.String())
+	}
+	// The same seed against the same broken system must fail again, and
+	// shrink to the same counterexample.
+	reRep := &Report{}
+	again := runOne(mustOracle(t, "interval"), f.Seed, broken(), 0, reRep, newCheckMetrics())
+	if again == nil {
+		t.Fatalf("seed %d did not reproduce the failure", f.Seed)
+	}
+	if again.Instance.String() != f.Instance.String() {
+		t.Errorf("replay shrank to %s, original run shrank to %s", again.Instance, f.Instance)
+	}
+	// Against the healthy system, the same seed passes: Replay exits clean.
+	rf, err := Replay("interval", f.Seed, 0)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rf != nil {
+		t.Errorf("healthy replay of seed %d failed: %v", f.Seed, rf.Err)
+	}
+}
+
+func mustOracle(t *testing.T, name string) *Oracle {
+	t.Helper()
+	o, err := OracleByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestShrinkMinimizes verifies the shrinker reaches a local minimum on a
+// synthetic predicate: any schedule with at least 3 nodes fails, so the
+// minimum failing instance has exactly 3 nodes and one round.
+func TestShrinkMinimizes(t *testing.T) {
+	o := mustOracle(t, "interval")
+	var inst *Instance
+	for iter := 0; ; iter++ {
+		if iter > 200 {
+			t.Fatal("no instance with >= 5 nodes generated")
+		}
+		cand, err := replayGen(o, IterSeed(5, o.Name, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cand.M.W() >= 5 && cand.M.Horizon() >= 2 {
+			inst = cand
+			break
+		}
+	}
+	check := func(i *Instance, _ *System) error {
+		if i.M.W() >= 3 {
+			return fmt.Errorf("too big")
+		}
+		return nil
+	}
+	shrunk, steps := Shrink(inst, Healthy(), check, 0)
+	if steps == 0 {
+		t.Error("shrinker did no work")
+	}
+	if shrunk.M.W() != 3 || shrunk.M.Horizon() != 1 {
+		t.Errorf("shrunk to w=%d h=%d, want w=3 h=1", shrunk.M.W(), shrunk.M.Horizon())
+	}
+}
+
+// TestSelectOracles covers subset selection and unknown names.
+func TestSelectOracles(t *testing.T) {
+	all, err := selectOracles(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Oracles()) {
+		t.Errorf("default selection has %d oracles, want %d", len(all), len(Oracles()))
+	}
+	sub, err := selectOracles([]string{"pair", "interval"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "interval" || sub[1].Name != "pair" {
+		t.Errorf("subset selection wrong: %v", namesOf(sub))
+	}
+	if _, err := selectOracles([]string{"nope"}); err == nil {
+		t.Error("unknown oracle accepted")
+	}
+	if _, err := RunWithSystem(context.Background(), Options{Iters: 0}, Healthy()); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
+func namesOf(os []*Oracle) []string {
+	var out []string
+	for _, o := range os {
+		out = append(out, o.Name)
+	}
+	return out
+}
+
+// TestRegistryWellFormed pins structural invariants of the registry: unique
+// names, docs, generators, checks, and at least one mutant per oracle (the
+// hook the mutation smoke test needs to prove the oracle non-vacuous).
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, o := range Oracles() {
+		if o.Name == "" || o.Doc == "" || o.Gen == nil || o.Check == nil {
+			t.Errorf("oracle %q incomplete", o.Name)
+		}
+		if seen[o.Name] {
+			t.Errorf("duplicate oracle name %q", o.Name)
+		}
+		seen[o.Name] = true
+		if len(o.Mutants) == 0 {
+			t.Errorf("oracle %q has no mutants: mutation smoke cannot validate it", o.Name)
+		}
+		mseen := map[string]bool{}
+		for _, m := range o.Mutants {
+			if m.Name == "" {
+				t.Errorf("oracle %q has unnamed mutant", o.Name)
+			}
+			if mseen[m.Name] {
+				t.Errorf("oracle %q duplicate mutant %q", o.Name, m.Name)
+			}
+			mseen[m.Name] = true
+			if (m.Sys == nil) == (m.Corrupt == nil) {
+				t.Errorf("oracle %q mutant %q must set exactly one of Sys/Corrupt", o.Name, m.Name)
+			}
+		}
+	}
+}

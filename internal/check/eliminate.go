@@ -1,0 +1,122 @@
+package check
+
+import (
+	"fmt"
+	"math/big"
+
+	"anondyn/internal/kernel"
+	"anondyn/internal/multigraph"
+)
+
+// EliminationSizes computes the set of network sizes consistent with a k = 2
+// leader view by dense rational elimination: it materializes the coefficient
+// matrix M_r, solves M_r·s = m_r for one particular solution, takes the
+// elimination kernel basis, and walks the integer points of the feasible
+// (component-wise non-negative) segment. It shares no code with the
+// structured O(3^t) solver beyond the matrix definition itself, which is what
+// makes it a genuine differential oracle for kernel.SolveCountInterval: the
+// two implementations agree only if Lemmas 2–4 (one-dimensional kernel,
+// Σk_r = 1) actually hold for the generated view.
+//
+// The cost is a rational RREF on a ~3^t × 3^t matrix, so callers must keep t
+// small (t ≤ 3 stays in the milliseconds).
+func EliminationSizes(view multigraph.LeaderView) ([]int, error) {
+	t := len(view)
+	if t == 0 {
+		return nil, fmt.Errorf("check: empty view constrains nothing")
+	}
+	r := t - 1
+	m, err := kernel.Matrix(r, 2)
+	if err != nil {
+		return nil, err
+	}
+	b, err := kernel.ObservationVector(view, r, 2)
+	if err != nil {
+		return nil, err
+	}
+	x0, consistent, err := m.SolveParticular(b)
+	if err != nil {
+		return nil, err
+	}
+	if !consistent {
+		return nil, nil
+	}
+	basis := m.KernelBasis()
+	if len(basis) != 1 {
+		return nil, fmt.Errorf("check: elimination kernel has dimension %d, want 1 (Lemma 3)", len(basis))
+	}
+	kv := basis[0]
+	// Feasible integers c with x0 + c·kv ≥ 0 component-wise. Entries of kv
+	// are ±-signed integers (primitive), so each component gives one bound.
+	lo := new(big.Int)
+	hi := new(big.Int)
+	haveLo, haveHi := false, false
+	q, rem := new(big.Int), new(big.Int)
+	for i := range kv {
+		s := kv[i].Sign()
+		if s == 0 {
+			if x0[i].Sign() < 0 {
+				return nil, nil // fixed negative component: infeasible
+			}
+			continue
+		}
+		// x0[i] + c*kv[i] >= 0  ⇔  c >= -x0[i]/kv[i] (kv>0) or c <= ... (kv<0).
+		neg := new(big.Int).Neg(x0[i])
+		q.QuoRem(neg, kv[i], rem)
+		if s > 0 {
+			// c >= ceil(-x0/kv)
+			if rem.Sign() != 0 && (neg.Sign() > 0) == (kv[i].Sign() > 0) {
+				q.Add(q, big.NewInt(1))
+			}
+			if !haveLo || q.Cmp(lo) > 0 {
+				lo.Set(q)
+				haveLo = true
+			}
+		} else {
+			// c <= floor(-x0/kv)
+			if rem.Sign() != 0 && (neg.Sign() > 0) != (kv[i].Sign() > 0) {
+				q.Sub(q, big.NewInt(1))
+			}
+			if !haveHi || q.Cmp(hi) < 0 {
+				hi.Set(q)
+				haveHi = true
+			}
+		}
+	}
+	if !haveLo || !haveHi {
+		return nil, fmt.Errorf("check: unbounded feasible segment (kernel lacks a sign)")
+	}
+	if lo.Cmp(hi) > 0 {
+		return nil, nil
+	}
+	// Σ over components of (x0 + c·kv): sizes as a function of c. Σkv = ±1
+	// by Lemma 4, so consecutive c give consecutive sizes.
+	sumX0 := new(big.Int)
+	sumKv := new(big.Int)
+	for i := range kv {
+		sumX0.Add(sumX0, x0[i])
+		sumKv.Add(sumKv, kv[i])
+	}
+	if a := new(big.Int).Abs(sumKv); a.Cmp(big.NewInt(1)) != 0 {
+		return nil, fmt.Errorf("check: elimination kernel sums to %s, want ±1 (Lemma 4)", sumKv)
+	}
+	var sizes []int
+	c := new(big.Int).Set(lo)
+	n := new(big.Int)
+	for c.Cmp(hi) <= 0 {
+		n.Mul(sumKv, c)
+		n.Add(n, sumX0)
+		if !n.IsInt64() {
+			return nil, fmt.Errorf("check: size %s overflows", n)
+		}
+		sizes = append(sizes, int(n.Int64()))
+		c.Add(c, big.NewInt(1))
+	}
+	// sumKv may be -1, in which case sizes came out descending.
+	if len(sizes) > 1 && sizes[0] > sizes[len(sizes)-1] {
+		for i, j := 0, len(sizes)-1; i < j; i, j = i+1, j-1 {
+			sizes[i], sizes[j] = sizes[j], sizes[i]
+		}
+	}
+	return sizes, nil
+}

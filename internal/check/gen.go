@@ -1,0 +1,178 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"anondyn/internal/core"
+	"anondyn/internal/multigraph"
+)
+
+// Instance is one generated test case: an adversary schedule plus the
+// parameters the oracles derive everything else from. Every oracle consumes
+// the same shape, which is what lets the shrinker be generic.
+type Instance struct {
+	// M is the primary ℳ(DBL)ₖ schedule. Always set.
+	M *multigraph.Multigraph
+	// Twin is the Lemma-5 twin of M (|W|+1 nodes, views equal through
+	// EqRounds). Only set for pair instances.
+	Twin *multigraph.Multigraph
+	// EqRounds is the number of completed rounds through which M and Twin
+	// claim indistinguishable leader views. Zero unless Twin is set.
+	EqRounds int
+	// Delay is the static-chain length for composition oracles (the chain
+	// of Corollary 1 has Delay intermediate nodes, so observations reach
+	// the leader Delay+1 rounds late).
+	Delay int
+}
+
+// String renders the instance compactly for failure reports. The schedule is
+// printed in full only when small; the replay seed is the canonical way to
+// reproduce a large one.
+func (inst *Instance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "w=%d k=%d horizon=%d delay=%d",
+		inst.M.W(), inst.M.K(), inst.M.Horizon(), inst.Delay)
+	if inst.Twin != nil {
+		fmt.Fprintf(&sb, " twin(w=%d eq=%d)", inst.Twin.W(), inst.EqRounds)
+	}
+	if inst.M.W()*inst.M.Horizon() <= 64 {
+		sb.WriteString(" schedule=")
+		sb.WriteString(formatSchedule(inst.M))
+	}
+	return sb.String()
+}
+
+// formatSchedule renders a small schedule as per-node label-set rows.
+func formatSchedule(m *multigraph.Multigraph) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for v := 0; v < m.W(); v++ {
+		if v > 0 {
+			sb.WriteString("; ")
+		}
+		for r := 0; r < m.Horizon(); r++ {
+			s, err := m.LabelsAt(v, r)
+			if err != nil {
+				sb.WriteString("?")
+				continue
+			}
+			sb.WriteString(s.String())
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// boundarySizes are the Σ⁻k_r thresholds (3^T − 1)/2 at which the Theorem 1
+// horizon jumps — the sizes where off-by-one bugs in the closed forms and in
+// the adversary construction live.
+var boundarySizes = []int{1, 4, 13, 40, 121, 364}
+
+// biasedSize draws a network size in [1, maxW], landing on or next to a
+// 3-power boundary half the time. The paper's identities are exact at the
+// thresholds and one off on either side of them, so uniform sampling would
+// waste most draws on the flat interior.
+func biasedSize(rng *rand.Rand, maxW int) int {
+	if maxW < 1 {
+		maxW = 1
+	}
+	if rng.Intn(2) == 0 {
+		b := boundarySizes[rng.Intn(len(boundarySizes))] + rng.Intn(3) - 1
+		if b >= 1 && b <= maxW {
+			return b
+		}
+	}
+	return rng.Intn(maxW) + 1
+}
+
+// genSchedule draws a random ℳ(DBL)₂ schedule with biased edge cases:
+// boundary sizes, the single-node network, and label-distribution extremes
+// (all-{1,2} "max-label" rounds, near-constant schedules).
+func genSchedule(rng *rand.Rand, maxW, maxH int) (*Instance, error) {
+	w := biasedSize(rng, maxW)
+	h := rng.Intn(maxH) + 1
+	labels := make([][]multigraph.LabelSet, w)
+	mode := rng.Intn(4)
+	for v := range labels {
+		row := make([]multigraph.LabelSet, h)
+		for r := range row {
+			switch mode {
+			case 0: // uniform over the three symbols
+				row[r] = multigraph.SymbolFromIndex(rng.Intn(3))
+			case 1: // max-label heavy: mostly {1,2}
+				if rng.Intn(4) == 0 {
+					row[r] = multigraph.SymbolFromIndex(rng.Intn(2))
+				} else {
+					row[r] = multigraph.SetOf(1, 2)
+				}
+			case 2: // near-constant per node
+				if r == 0 || rng.Intn(8) == 0 {
+					row[r] = multigraph.SymbolFromIndex(rng.Intn(3))
+				} else {
+					row[r] = row[r-1]
+				}
+			default: // single-label heavy: mostly {1} or {2}
+				row[r] = multigraph.SetOf(rng.Intn(2) + 1)
+			}
+		}
+		labels[v] = row
+	}
+	m, err := multigraph.New(2, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{M: m, Delay: rng.Intn(3)}, nil
+}
+
+// genScheduleK draws a random ℳ(DBL)ₖ schedule over a small alphabet, for
+// the general-k enumerator. Sizes stay tiny: the enumeration is exponential
+// in both the alphabet and the node count.
+func genScheduleK(rng *rand.Rand, maxK, maxW, maxH int) (*Instance, error) {
+	k := rng.Intn(maxK) + 1
+	w := rng.Intn(maxW) + 1
+	h := rng.Intn(maxH) + 1
+	symbols := multigraph.SymbolCount(k)
+	labels := make([][]multigraph.LabelSet, w)
+	for v := range labels {
+		row := make([]multigraph.LabelSet, h)
+		for r := range row {
+			row[r] = multigraph.SymbolFromIndex(rng.Intn(symbols))
+		}
+		labels[v] = row
+	}
+	m, err := multigraph.New(k, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{M: m, Delay: rng.Intn(3)}, nil
+}
+
+// genPair draws a Lemma-5 adversarial pair: a size biased toward the 3-power
+// boundaries, a sustained-rounds count up to the Lemma 5 maximum (capped so
+// the 3^rounds count vectors stay small), extended past the divergence point
+// the way every consumer of the pair uses it.
+func genPair(rng *rand.Rand, maxW, maxRounds int) (*Instance, error) {
+	n := biasedSize(rng, maxW)
+	maxR := core.MaxIndistinguishableRounds(n)
+	if maxR > maxRounds {
+		maxR = maxRounds
+	}
+	rounds := rng.Intn(maxR) + 1
+	return buildPair(n, rounds, rng.Intn(3))
+}
+
+// buildPair constructs the extended pair instance for exact parameters; the
+// shrinker uses it to propose smaller pairs.
+func buildPair(n, rounds, delay int) (*Instance, error) {
+	pair, err := core.IndistinguishablePair(n, rounds)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := pair.Extend(2)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{M: ext.M, Twin: ext.MPrime, EqRounds: rounds, Delay: delay}, nil
+}

@@ -1,0 +1,48 @@
+package check
+
+import "testing"
+
+// TestMutationCoverage is the harness's self-validation: every registered
+// oracle must catch every one of its seeded mutants within a bounded number
+// of iterations. An oracle whose checks are vacuous (always pass) fails
+// here, so it cannot silently ship — this is the CI tripwire ISSUE 4's
+// tentpole requires.
+func TestMutationCoverage(t *testing.T) {
+	iters := 80
+	if testing.Short() {
+		iters = 30
+	}
+	for _, o := range Oracles() {
+		o := o
+		t.Run(o.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range o.Mutants {
+				if !RunMutant(o, m, 1, iters) {
+					t.Errorf("oracle %s never caught mutant %s in %d iterations: the oracle is too weak",
+						o.Name, m.Name, iters)
+				}
+			}
+		})
+	}
+}
+
+// TestMutantsInvisibleToHealthySystem guards the other direction: applying
+// no mutant, the same seeds pass (already covered by TestHealthyRun), and a
+// Sys mutant must not leak state into the shared registry — Oracles() hands
+// out fresh closures, and Healthy() hands out a fresh System, so running a
+// mutant then a healthy check on the same seed passes.
+func TestMutantsInvisibleToHealthySystem(t *testing.T) {
+	o := Oracles()[0]
+	m := o.Mutants[0]
+	RunMutant(o, m, 7, 5) // may or may not catch; must not pollute
+	for iter := 0; iter < 5; iter++ {
+		seed := IterSeed(7, o.Name+"/"+m.Name, iter)
+		inst, err := replayGen(o, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safeCheck(o, inst, Healthy()); err != nil {
+			t.Errorf("healthy system fails seed %d after mutant run: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package check
+
+import "anondyn/internal/obs"
+
+// Harness instrumentation reports through the process-wide collector
+// (obs.Global), same as the kernel solvers: cmd/check installs it via the
+// shared -metrics/-pprof flags, and unobserved runs pay one nil check per
+// engine start.
+
+// checkMetrics resolves the harness counters once per Run, nil handles when
+// unobserved.
+type checkMetrics struct {
+	instances   *obs.Counter
+	evals       *obs.Counter
+	failures    *obs.Counter
+	shrinkSteps *obs.Counter
+}
+
+func newCheckMetrics() checkMetrics {
+	col := obs.Global()
+	if col == nil {
+		return checkMetrics{}
+	}
+	return checkMetrics{
+		instances:   col.Counter(obs.CheckInstances),
+		evals:       col.Counter(obs.CheckEvals),
+		failures:    col.Counter(obs.CheckFailures),
+		shrinkSteps: col.Counter(obs.CheckShrinkSteps),
+	}
+}

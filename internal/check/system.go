@@ -1,0 +1,81 @@
+package check
+
+import (
+	"context"
+	"math/big"
+
+	"anondyn/internal/chainnet"
+	"anondyn/internal/core"
+	"anondyn/internal/dynet"
+	"anondyn/internal/kernel"
+	"anondyn/internal/linalg"
+	"anondyn/internal/multigraph"
+	"anondyn/internal/runtime"
+)
+
+// IncrementalAdder is the slice of kernel.IncrementalSolver the oracles
+// depend on, as an interface so a mutation can interpose on it.
+type IncrementalAdder interface {
+	AddRound(multigraph.Observation) (kernel.Interval, error)
+	Rounds() int
+}
+
+// System bundles the implementations under test. Every oracle routes its
+// calls to the layers it cross-checks through these hooks, so the mutation
+// smoke test can swap in a deliberately broken variant of one layer and
+// verify that the oracle notices. Production runs use Healthy().
+type System struct {
+	// Solve is the O(3^t) batch solver (kernel.SolveCountInterval).
+	Solve func(multigraph.LeaderView) (kernel.Interval, error)
+	// NewIncremental creates the per-round incremental solver.
+	NewIncremental func() IncrementalAdder
+	// Enumerate is the general-k exact enumerator (kernel.EnumerateSizes).
+	Enumerate func(view multigraph.LeaderView, k int, limits kernel.EnumLimits) ([]int, error)
+	// Eliminate is the dense rational-elimination solver (EliminationSizes).
+	Eliminate func(view multigraph.LeaderView) ([]int, error)
+	// Kernel is the closed-form kernel vector (kernel.ClosedFormKernel).
+	Kernel func(r int) linalg.Vector
+	// KernelSumNeg and KernelSumPos are the Lemma 4 sums.
+	KernelSumNeg func(r int) *big.Int
+	KernelSumPos func(r int) *big.Int
+	// MaxIndist and MinSizeFor are the Theorem 1 closed forms.
+	MaxIndist  func(n int) int
+	MinSizeFor func(t int) int
+	// WorstRounds measures the leader-state counter on the worst-case
+	// schedule (core.WorstCaseCountRounds).
+	WorstRounds func(n int) (core.CountResult, error)
+	// ChainRounds is the delayed-view composition (core.ChainCountRounds).
+	ChainRounds func(n, delay int) (core.CountResult, error)
+	// MsgCount runs the message-level chain protocol to termination
+	// (chainnet.RunCount on the sequential engine).
+	MsgCount func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error)
+	// Transform is the Lemma-1 multigraph → 𝒢(PD)₂ transformation.
+	Transform func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error)
+	// Limits budgets the general-k enumerator.
+	Limits kernel.EnumLimits
+}
+
+// Healthy wires the System to the real implementations.
+func Healthy() *System {
+	return &System{
+		Solve: kernel.SolveCountInterval,
+		NewIncremental: func() IncrementalAdder {
+			return kernel.NewIncrementalSolver()
+		},
+		Enumerate:    kernel.EnumerateSizes,
+		Eliminate:    EliminationSizes,
+		Kernel:       kernel.ClosedFormKernel,
+		KernelSumNeg: kernel.KernelSumNegative,
+		KernelSumPos: kernel.KernelSumPositive,
+		MaxIndist:    core.MaxIndistinguishableRounds,
+		MinSizeFor:   core.MinSizeForRounds,
+		WorstRounds:  core.WorstCaseCountRounds,
+		ChainRounds:  core.ChainCountRounds,
+		MsgCount: func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error) {
+			return chainnet.RunCount(nw, maxRounds, runtime.SequentialEngine(context.Background()))
+		},
+		Transform: func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error) {
+			return m.ToPD2()
+		},
+	}
+}

@@ -1,0 +1,86 @@
+package dynet
+
+import (
+	"testing"
+
+	"anondyn/internal/graph"
+)
+
+// TestFloodTimeDynamicStall pins the round accounting on a genuinely
+// dynamic graph: a 3-node network whose topology alternates, so the same
+// flood takes a different number of rounds depending on its start round —
+// the effect behind the paper's "dynamic diameter can exceed every
+// snapshot's static diameter" observation.
+func TestFloodTimeDynamicStall(t *testing.T) {
+	// Even rounds: edges {0,1},{0,2}. Odd rounds: edges {0,1},{1,2}.
+	g0 := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	g1 := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	d, err := NewCyclic([]*graph.Graph{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From node 1 at round 0: round 0 reaches only 0 (node 2's sole
+	// neighbor is the still-uninformed 0), round 1 reaches 2 → 2 rounds.
+	got, err := FloodTime(d, 1, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("FloodTime(alternating, src=1, start=0) = %d, want 2", got)
+	}
+	// One round later node 1 touches both others directly → 1 round.
+	got, err = FloodTime(d, 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("FloodTime(alternating, src=1, start=1) = %d, want 1", got)
+	}
+}
+
+// TestFloodTimeStartInvariantOnStatic: on a static graph the start round is
+// irrelevant — flood time is the source's eccentricity at every start.
+func TestFloodTimeStartInvariantOnStatic(t *testing.T) {
+	d := NewStatic(graph.Path(5))
+	for _, start := range []int{0, 1, 7} {
+		got, err := FloodTime(d, 0, start, 100)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		if got != 4 {
+			t.Errorf("FloodTime(path5, src=0, start=%d) = %d, want 4", start, got)
+		}
+	}
+}
+
+// TestDynamicDiameterWindowPeriodicity: for a cyclic dynamic graph, a
+// window of one period is exact — widening the window cannot change the
+// diameter, because every start round repeats modulo the period.
+func TestDynamicDiameterWindowPeriodicity(t *testing.T) {
+	g0 := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	g1 := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	d, err := NewCyclic([]*graph.Graph{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := DynamicDiameter(d, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{4, 6} {
+		wide, err := DynamicDiameter(d, window, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide != base {
+			t.Errorf("window %d diameter %d, one-period diameter %d", window, wide, base)
+		}
+	}
+}
+
+// TestPDClassSingleNode: the degenerate network is G(PD)_0.
+func TestPDClassSingleNode(t *testing.T) {
+	if h, err := PDClass(NewStatic(graph.Complete(1)), 0, 3); err != nil || h != 0 {
+		t.Errorf("PDClass(K1) = %d, %v; want 0, nil", h, err)
+	}
+}

@@ -1,0 +1,83 @@
+package multigraph
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+)
+
+// TestToPD2ExactPDClass asserts the transformation lands exactly in G(PD)₂
+// — not merely within it — and that the layer partition is the paper's
+// {v_l} ∪ V₁ ∪ V₂ with the right cardinalities, for several shapes
+// including the single-node network and k = 3.
+func TestToPD2ExactPDClass(t *testing.T) {
+	cases := []struct {
+		k, w, h int
+		seed    int64
+	}{
+		{2, 1, 1, 1}, // single node, single round
+		{2, 6, 4, 7},
+		{3, 4, 3, 11},
+		{1, 3, 2, 5},
+	}
+	for _, c := range cases {
+		m, err := Random(c.k, c.w, c.h, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, layout, err := m.ToPD2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := dynet.PDClass(d, layout.Leader, c.h)
+		if err != nil {
+			t.Fatalf("k=%d w=%d: %v", c.k, c.w, err)
+		}
+		if h != 2 {
+			t.Errorf("k=%d w=%d: PDClass = %d, want exactly 2", c.k, c.w, h)
+		}
+		layers, err := dynet.LayerPartition(d, layout.Leader, c.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(layers) != 3 || len(layers[0]) != 1 || len(layers[1]) != c.k || len(layers[2]) != c.w {
+			t.Errorf("k=%d w=%d: layer sizes %d/%d/%d, want 1/%d/%d",
+				c.k, c.w, len(layers[0]), len(layers[1]), len(layers[2]), c.k, c.w)
+		}
+		if layers[0][0] != layout.Leader {
+			t.Errorf("layer 0 is %v, want leader %d", layers[0], layout.Leader)
+		}
+		if layout.N() != 1+c.k+c.w {
+			t.Errorf("layout.N() = %d, want %d", layout.N(), 1+c.k+c.w)
+		}
+	}
+}
+
+// TestToPD2EdgesMatchLabels pins the defining edge rule: at every round the
+// relay for label j touches exactly the W nodes whose label set contains j.
+func TestToPD2EdgesMatchLabels(t *testing.T) {
+	m, err := Random(2, 5, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, layout, err := m.ToPD2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < m.Horizon(); r++ {
+		g := d.Snapshot(r)
+		for v := 0; v < m.W(); v++ {
+			s, err := m.LabelsAt(v, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 1; j <= m.K(); j++ {
+				want := s.Has(j)
+				got := g.HasEdge(layout.V1[j-1], layout.V2[v])
+				if got != want {
+					t.Errorf("round %d node %d label %d: edge=%v, labels %v", r, v, j, got, s)
+				}
+			}
+		}
+	}
+}

@@ -61,6 +61,12 @@ const (
 	KernelSolverCalls = "kernel.solver_calls" // counter: full view solves (SolveCountInterval)
 	KernelRounds      = "kernel.rounds"       // counter: incremental observations folded in
 	KernelRoundNS     = "kernel.round_ns"     // histogram: per-round incremental solve time
+
+	// Property-testing harness (internal/check): randomized verification.
+	CheckInstances   = "check.instances_generated" // counter: instances drawn by generators
+	CheckEvals       = "check.oracle_evals"        // counter: oracle checks evaluated
+	CheckFailures    = "check.failures"            // counter: oracle checks that fired
+	CheckShrinkSteps = "check.shrink_steps"        // counter: candidate instances tried while shrinking
 )
 
 // Collector owns a process- or run-scoped registry of named metrics. The

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name: "t", Proto: ProtoMDBLCount,
+		Sizes: []int{3, 5, 9}, Trials: 4, Horizon: 6, Seed: 42,
+	}
+}
+
+func TestSpecJobsExpansion(t *testing.T) {
+	s := validSpec()
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s.Sizes) * s.Trials; len(jobs) != want {
+		t.Fatalf("expanded to %d jobs, want %d", len(jobs), want)
+	}
+	// Canonical order: sizes in grid order, trials ascending; keys unique
+	// and self-describing; seeds match the derivation.
+	seen := map[string]bool{}
+	i := 0
+	for _, n := range s.Sizes {
+		for trial := 0; trial < s.Trials; trial++ {
+			j := jobs[i]
+			i++
+			if j.N != n || j.Trial != trial || j.Proto != s.Proto || j.Horizon != s.Horizon {
+				t.Errorf("job %d = %+v, want n=%d trial=%d", i-1, j, n, trial)
+			}
+			if want := fmt.Sprintf("%s/seed=%d/n=%d/t=%d", s.Proto, s.Seed, n, trial); j.Key != want {
+				t.Errorf("job key %q, want %q", j.Key, want)
+			}
+			if seen[j.Key] {
+				t.Errorf("duplicate job key %q", j.Key)
+			}
+			seen[j.Key] = true
+			if want := JobSeed(s.Seed, uint64(n), uint64(trial)); j.Seed != want {
+				t.Errorf("job %s seed %d, want %d", j.Key, j.Seed, want)
+			}
+		}
+	}
+}
+
+func TestSpecValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no-proto", func(s *Spec) { s.Proto = "" }},
+		{"empty-grid", func(s *Spec) { s.Sizes = nil }},
+		{"duplicate-size", func(s *Spec) { s.Sizes = []int{3, 5, 3} }},
+		{"size-zero", func(s *Spec) { s.Sizes = []int{0, 3} }},
+		{"no-trials", func(s *Spec) { s.Trials = 0 }},
+		{"no-horizon", func(s *Spec) { s.Horizon = 0 }},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, s)
+		}
+		if _, err := s.Jobs(); err == nil {
+			t.Errorf("%s: Jobs expanded an invalid spec", c.name)
+		}
+	}
+	s := validSpec()
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := []byte(`{"name":"x","proto":"` + ProtoMDBLCount + `","sizes":[3,5],"trials":2,"horizon":4,"seed":1}`)
+	s, err := ParseSpec(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "x" || len(s.Sizes) != 2 {
+		t.Errorf("parsed %+v", s)
+	}
+	// Unknown fields fail loudly — a typo must not silently run defaults.
+	typo := []byte(`{"name":"x","proto":"` + ProtoMDBLCount + `","sizes":[3],"trails":2,"horizon":4}`)
+	if _, err := ParseSpec(typo); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Decodes but fails validation.
+	invalid := []byte(`{"name":"x","proto":"` + ProtoMDBLCount + `","sizes":[],"trials":2,"horizon":4}`)
+	if _, err := ParseSpec(invalid); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	for _, name := range []string{"figures", "smoke"} {
+		s, err := LoadSpec(name)
+		if err != nil {
+			t.Fatalf("built-in %q: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("built-in %q invalid: %v", name, err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	content := `{"name":"file","proto":"` + ProtoMDBLCount + `","sizes":[3],"trials":1,"horizon":2,"seed":5}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "file" || s.Seed != 5 {
+		t.Errorf("loaded %+v", s)
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Error("unknown built-in reported ok")
+	}
+}
