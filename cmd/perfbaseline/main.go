@@ -1,20 +1,28 @@
 // Command perfbaseline measures the pinned performance workloads of this
 // repo — the sequential engine round loop (with the observability layer
 // disabled and enabled), the incremental kernel solve on a worst-case
-// schedule, a full smoke sweep campaign, and the raw obs handle
-// operations — and writes the results as JSON (BENCH_PR3.json). The
-// committed snapshot is the reference point for spotting regressions in
-// the hot paths the obs layer instruments; the disabled/enabled benchmark
-// pairs quantify the instrumentation overhead itself.
+// schedule, the coalesced solver's indexed ingestion path, the linalg RREF
+// fast path on both sides of the int64→big.Int fallback boundary, a full
+// smoke sweep campaign, and the raw obs handle operations — and writes the
+// results as JSON (BENCH_PR5.json). The committed snapshot is the reference
+// point for spotting regressions in the hot paths; the disabled/enabled
+// benchmark pairs quantify the instrumentation overhead itself.
 //
 // Usage:
 //
-//	perfbaseline [-o BENCH_PR3.json] [-filter substring]
+//	perfbaseline [-o BENCH_PR5.json] [-filter substring] [-benchtime 1s]
+//	             [-compare old.json] [-threshold 3.0]
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime failure. perfbaseline
-// manages the process-wide obs collector itself (the observed-variant
-// benchmarks install one), so it does not take the shared -metrics/-pprof
-// flags.
+// With -compare, per-benchmark deltas against the old baseline are printed
+// after the run, and the command exits non-zero if any benchmark present in
+// both files slowed down by more than the -threshold factor (<= 0 disables
+// the gate). Benchmarks are emitted in sorted name order and the header
+// carries go/goos/goarch/cpu/GOMAXPROCS, so cross-run compares are stable.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure (including a
+// tripped regression threshold). perfbaseline manages the process-wide obs
+// collector itself (the observed-variant benchmarks install one), so it
+// does not take the shared -metrics/-pprof flags.
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -33,6 +43,9 @@ import (
 	"anondyn/internal/core"
 	"anondyn/internal/dynet"
 	"anondyn/internal/graph"
+	"anondyn/internal/kernel"
+	"anondyn/internal/linalg"
+	"anondyn/internal/multigraph"
 	"anondyn/internal/obs"
 	engine "anondyn/internal/runtime"
 	"anondyn/internal/sweep"
@@ -51,22 +64,35 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// baseline is the BENCH_PR3.json payload. It carries the toolchain and
+// baseline is the BENCH_PR5.json payload. It carries the toolchain and
 // platform (numbers are meaningless without them) but deliberately no
 // timestamp, so regenerating on the same machine produces minimal diffs.
 type baseline struct {
 	Go         string        `json:"go"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	CPU        string        `json:"cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("perfbaseline", flag.ContinueOnError)
-	outPath := fs.String("o", "BENCH_PR3.json", "output `file` (\"-\" for stdout only)")
+	outPath := fs.String("o", "BENCH_PR5.json", "output `file` (\"-\" for stdout only)")
 	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
+	benchtime := fs.String("benchtime", "", "per-benchmark measuring time (e.g. 100ms); empty keeps the 1s default")
+	comparePath := fs.String("compare", "", "old baseline `file` to diff against; exits non-zero past -threshold")
+	threshold := fs.Float64("threshold", 3.0, "ns/op regression factor that fails -compare (<= 0 disables the gate)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
+	}
+	if *benchtime != "" {
+		// testing.Benchmark honors the test.benchtime flag; register the
+		// testing flags and set it so CI can run a short smoke suite.
+		testing.Init()
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return cli.Usagef("bad -benchtime %q: %v", *benchtime, err)
+		}
 	}
 
 	dir, err := os.MkdirTemp("", "perfbaseline-*")
@@ -82,12 +108,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		{"runtime/round-loop/disabled", roundLoopBench(false)},
 		{"runtime/round-loop/observed", roundLoopBench(true)},
 		{"kernel/incremental-solve/n364", kernelBench},
+		{"kernel/coalesced-solver/w40", solverBench()},
+		{"linalg/rref/int64-16x17", rrefBench(16, 17, 9, false)},
+		{"linalg/rref/spill-16x17", rrefBench(16, 17, 1<<32, false)},
+		{"linalg/rref/reference-16x17", rrefBench(16, 17, 9, true)},
 		{"sweep/smoke-campaign", sweepBench(dir)},
 		{"obs/counter+histogram/disabled", obsHandleBench(false)},
 		{"obs/counter+histogram/enabled", obsHandleBench(true)},
 	}
+	// Deterministic sorted emission order, independent of workload
+	// registration order: compares line up run to run.
+	sort.Slice(workloads, func(i, j int) bool { return workloads[i].name < workloads[j].name })
 
-	bl := baseline{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	bl := baseline{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	for _, w := range workloads {
 		if *filter != "" && !strings.Contains(w.name, *filter) {
 			continue
@@ -118,14 +157,91 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	data = append(data, '\n')
 	if *outPath == "-" {
-		_, err = out.Write(data)
-		return err
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		return err
+	if *comparePath != "" {
+		return compareBaselines(*comparePath, bl, *threshold, out)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	return nil
+}
+
+// compareBaselines prints per-benchmark deltas of the fresh results against
+// the committed baseline in oldPath and errors if any shared benchmark's
+// ns/op regressed by more than the threshold factor.
+func compareBaselines(oldPath string, fresh baseline, threshold float64, out io.Writer) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var old baseline
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("compare %s: %w", oldPath, err)
+	}
+	oldBy := make(map[string]benchResult, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(out, "comparison vs %s (%s, %s/%s):\n", oldPath, old.Go, old.GOOS, old.GOARCH)
+	var failures []string
+	for _, n := range fresh.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-34s  new benchmark (no old entry)\n", n.Name)
+			continue
+		}
+		delete(oldBy, n.Name)
+		nsRatio := ratio(n.NsPerOp, o.NsPerOp)
+		allocRatio := ratio(float64(n.AllocsPerOp), float64(o.AllocsPerOp))
+		fmt.Fprintf(out, "  %-34s  ns/op %14.1f -> %14.1f (%5.2fx)  allocs/op %6d -> %6d (%5.2fx)\n",
+			n.Name, o.NsPerOp, n.NsPerOp, nsRatio, o.AllocsPerOp, n.AllocsPerOp, allocRatio)
+		if threshold > 0 && nsRatio > threshold {
+			failures = append(failures,
+				fmt.Sprintf("%s slowed %.2fx (%.1f -> %.1f ns/op), threshold %.2fx",
+					n.Name, nsRatio, o.NsPerOp, n.NsPerOp, threshold))
+		}
+	}
+	for name := range oldBy {
+		fmt.Fprintf(out, "  %-34s  removed (present only in %s)\n", name, oldPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf regression gate tripped:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// ratio returns new/old, treating a zero old value as parity (a 0→0 alloc
+// comparison must not divide by zero).
+func ratio(new, old float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 1
+		}
+		return new
+	}
+	return new / old
+}
+
+// cpuModel best-effort reads the CPU model name; benchmarks numbers are not
+// comparable across CPUs, so the header pins it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return "unknown"
 }
 
 // floodProc is the minimal engine workload: node 0 floods a token through
@@ -198,6 +314,70 @@ func kernelBench(b *testing.B) {
 		}
 		if res.Count != 364 {
 			b.Fatalf("count = %d, want 364", res.Count)
+		}
+	}
+}
+
+// solverBench isolates the coalesced incremental solver's indexed ingestion
+// path: precomputed per-round observations of a random 40-node schedule,
+// replayed into a fresh solver each iteration.
+func solverBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		const w, horizon = 40, 12
+		mg, err := multigraph.Random(2, w, horizon, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := mg.NewObservationStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := make([][]multigraph.IndexedObsEntry, horizon)
+		for r := 0; r < horizon; r++ {
+			entries, err := stream.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds[r] = append([]multigraph.IndexedObsEntry(nil), entries...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := kernel.NewIncrementalSolver()
+			for _, entries := range rounds {
+				if _, err := s.AddRoundIndexed(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// rrefBench reduces a fixed random rows×cols matrix with entries in
+// [-mag, mag]. mag 9 stays on the int64 Bareiss path throughout; mag 2^32
+// overflows within a pivot step or two and spills to big.Int, making the
+// fallback cliff visible next to the int64 number. reference selects the
+// retained classical big.Rat elimination.
+func rrefBench(rows, cols int, mag int64, reference bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(5))
+		m, err := linalg.NewMatrix(rows, cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.SetInt64(i, j, rng.Int63n(2*mag+1)-mag)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if reference {
+				_, _ = m.RREFReference()
+			} else {
+				_, _ = m.RREF()
+			}
 		}
 	}
 }

@@ -1,7 +1,10 @@
 package check
 
 import (
+	"math/big"
+
 	"anondyn/internal/core"
+	"anondyn/internal/linalg"
 	"anondyn/internal/multigraph"
 )
 
@@ -54,6 +57,9 @@ func shrinkCandidates(inst *Instance) []*Instance {
 			out = append(out, cand)
 		}
 	}
+	if inst.Mat != nil {
+		return shrinkMatrixCandidates(inst)
+	}
 	if inst.Twin != nil {
 		n, r := inst.M.W(), inst.EqRounds
 		if r > 1 {
@@ -104,6 +110,63 @@ func shrinkCandidates(inst *Instance) []*Instance {
 	// Shorter chain.
 	if inst.Delay > 0 {
 		add(&Instance{M: m, Delay: inst.Delay - 1}, nil)
+	}
+	return out
+}
+
+// shrinkMatrixCandidates proposes smaller matrices for a failing matrix
+// instance: fewer rows, fewer columns, then simpler entries (each entry of
+// magnitude > 1 reduced to its sign). The placeholder schedule is carried
+// through unchanged.
+func shrinkMatrixCandidates(inst *Instance) []*Instance {
+	m := inst.Mat
+	rows, cols := m.Rows(), m.Cols()
+	var out []*Instance
+	build := func(nr, nc int, at func(i, j int) *big.Int) {
+		nm, err := linalg.NewMatrix(nr, nc)
+		if err != nil {
+			return
+		}
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				nm.Set(i, j, at(i, j))
+			}
+		}
+		out = append(out, &Instance{M: inst.M, Mat: nm})
+	}
+	if rows > 1 {
+		for drop := 0; drop < rows; drop++ {
+			build(rows-1, cols, func(i, j int) *big.Int {
+				if i >= drop {
+					i++
+				}
+				return m.At(i, j)
+			})
+		}
+	}
+	if cols > 1 {
+		for drop := 0; drop < cols; drop++ {
+			build(rows, cols-1, func(i, j int) *big.Int {
+				if j >= drop {
+					j++
+				}
+				return m.At(i, j)
+			})
+		}
+	}
+	one := big.NewInt(1)
+	for si := 0; si < rows; si++ {
+		for sj := 0; sj < cols; sj++ {
+			if m.At(si, sj).CmpAbs(one) <= 0 {
+				continue
+			}
+			build(rows, cols, func(i, j int) *big.Int {
+				if i == si && j == sj {
+					return big.NewInt(int64(m.At(i, j).Sign()))
+				}
+				return m.At(i, j)
+			})
+		}
 	}
 	return out
 }

@@ -51,6 +51,12 @@ type System struct {
 	MsgCount func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error)
 	// Transform is the Lemma-1 multigraph → 𝒢(PD)₂ transformation.
 	Transform func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error)
+	// RREFFast is the fraction-free int64 Bareiss RREF with big.Int
+	// fallback (the production path, linalg.(*Matrix).RREF).
+	RREFFast func(m *linalg.Matrix) ([][]*big.Rat, []int)
+	// RREFRef is the retained classical big.Rat elimination
+	// (linalg.(*Matrix).RREFReference) the fast path is checked against.
+	RREFRef func(m *linalg.Matrix) ([][]*big.Rat, []int)
 	// Limits budgets the general-k enumerator.
 	Limits kernel.EnumLimits
 }
@@ -77,5 +83,7 @@ func Healthy() *System {
 		Transform: func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error) {
 			return m.ToPD2()
 		},
+		RREFFast: (*linalg.Matrix).RREF,
+		RREFRef:  (*linalg.Matrix).RREFReference,
 	}
 }

@@ -1,11 +1,38 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"anondyn/internal/kernel"
 	"anondyn/internal/multigraph"
 )
+
+// solveNextRound folds round `r` of m into the solver, preferring the
+// indexed observation stream (no per-round maps or string keys) and falling
+// back to the string-keyed LeaderObservation path when the stream is
+// unavailable or has exhausted its int64 index capacity. It returns the
+// possibly-nil stream so callers thread the fallback state through their
+// loop.
+func solveNextRound(m *multigraph.Multigraph, solver *kernel.IncrementalSolver, stream *multigraph.ObservationStream, r int) (kernel.Interval, *multigraph.ObservationStream, error) {
+	if stream != nil {
+		entries, err := stream.Next()
+		if err == nil {
+			iv, err := solver.AddRoundIndexed(entries)
+			return iv, stream, err
+		}
+		if !errors.Is(err, multigraph.ErrIndexCapacity) {
+			return kernel.Interval{}, nil, err
+		}
+		stream = nil // string path from this round on
+	}
+	obs, err := m.LeaderObservation(r)
+	if err != nil {
+		return kernel.Interval{}, nil, err
+	}
+	iv, err := solver.AddRound(obs)
+	return iv, nil, err
+}
 
 // CountResult reports a terminating run of the leader-state counter.
 type CountResult struct {
@@ -36,12 +63,13 @@ func CountOnMultigraph(m *multigraph.Multigraph, maxRounds int) (CountResult, er
 		limit = h
 	}
 	solver := kernel.NewIncrementalSolver()
+	stream, err := m.NewObservationStream()
+	if err != nil {
+		return CountResult{}, err
+	}
 	for rounds := 1; rounds <= limit; rounds++ {
-		obs, err := m.LeaderObservation(rounds - 1)
-		if err != nil {
-			return CountResult{}, err
-		}
-		iv, err := solver.AddRound(obs)
+		var iv kernel.Interval
+		iv, stream, err = solveNextRound(m, solver, stream, rounds-1)
 		if err != nil {
 			return CountResult{}, err
 		}
@@ -79,13 +107,13 @@ func UncertaintyTrajectory(m *multigraph.Multigraph, rounds int) ([]kernel.Inter
 		return nil, fmt.Errorf("core: rounds %d out of range [1,%d]", rounds, m.Horizon())
 	}
 	solver := kernel.NewIncrementalSolver()
+	// The stream requires k=2; on other alphabets stay on the string path.
+	stream, _ := m.NewObservationStream()
 	out := make([]kernel.Interval, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		obs, err := m.LeaderObservation(r)
-		if err != nil {
-			return nil, err
-		}
-		iv, err := solver.AddRound(obs)
+		var iv kernel.Interval
+		var err error
+		iv, stream, err = solveNextRound(m, solver, stream, r)
 		if err != nil {
 			return nil, err
 		}

@@ -40,12 +40,14 @@ func IndistinguishablePair(n, rounds int) (*Pair, error) {
 			n, maxR, rounds)
 	}
 	r := rounds - 1
-	kv := kernel.ClosedFormKernel(r)
+	// Only the ±1 kernel signs matter here; the int8 closed form avoids
+	// materializing a big.Int vector on this hot path.
+	kv := kernel.ClosedFormKernelSigns(r)
 	counts := make([]int, len(kv))
 	placed := 0
 	firstNeg := -1
 	for i, c := range kv {
-		if c.Sign() < 0 {
+		if c < 0 {
 			counts[i] = 1
 			placed++
 			if firstNeg == -1 {
@@ -65,7 +67,7 @@ func IndistinguishablePair(n, rounds int) (*Pair, error) {
 	}
 	countsPrime := make([]int, len(counts))
 	for i := range counts {
-		countsPrime[i] = counts[i] + int(kv[i].Int64())
+		countsPrime[i] = counts[i] + int(kv[i])
 		if countsPrime[i] < 0 {
 			return nil, fmt.Errorf("core: internal: M' count %d negative at %d", countsPrime[i], i)
 		}
@@ -131,29 +133,12 @@ func (p *Pair) Extend(extra int) (*Pair, error) {
 	if extra < 0 {
 		return nil, fmt.Errorf("core: negative extension %d", extra)
 	}
-	ext := func(m *multigraph.Multigraph) (*multigraph.Multigraph, error) {
-		labels := make([][]multigraph.LabelSet, m.W())
-		for v := 0; v < m.W(); v++ {
-			row := make([]multigraph.LabelSet, 0, m.Horizon()+extra)
-			for r := 0; r < m.Horizon(); r++ {
-				s, err := m.LabelsAt(v, r)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, s)
-			}
-			for e := 0; e < extra; e++ {
-				row = append(row, multigraph.SetOf(1))
-			}
-			labels[v] = row
-		}
-		return multigraph.New(m.K(), labels)
-	}
-	m, err := ext(p.M)
+	fill := multigraph.SetOf(1)
+	m, err := p.M.Extended(extra, fill)
 	if err != nil {
 		return nil, err
 	}
-	mp, err := ext(p.MPrime)
+	mp, err := p.MPrime.Extended(extra, fill)
 	if err != nil {
 		return nil, err
 	}

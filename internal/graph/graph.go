@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -154,12 +155,23 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 	if v < 0 || int(v) >= g.n {
 		return nil
 	}
-	out := make([]NodeID, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
+	return g.NeighborsAppend(v, make([]NodeID, 0, len(g.adj[v])))
+}
+
+// NeighborsAppend appends the neighbors of v to dst in ascending order and
+// returns the extended slice: the allocation-free variant of Neighbors for
+// hot loops (the runtime engines call it once per node per round with a
+// reused buffer). Out-of-range v appends nothing.
+func (g *Graph) NeighborsAppend(v NodeID, dst []NodeID) []NodeID {
+	if v < 0 || int(v) >= g.n {
+		return dst
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	base := len(dst)
+	for u := range g.adj[v] {
+		dst = append(dst, u)
+	}
+	slices.Sort(dst[base:])
+	return dst
 }
 
 // Edges returns all edges in canonical order (sorted by (U,V)).

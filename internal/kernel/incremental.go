@@ -2,23 +2,75 @@ package kernel
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"anondyn/internal/multigraph"
 	anonobs "anondyn/internal/obs"
 )
 
+// solverIndexLimit is the longest node-state history the incremental solver
+// keys by int64 index: 3^39 < MaxInt64 < 3^40, so histories through length
+// 39 have exact base-3 indices. Past it the sparse layer spills to canonical
+// History.Key strings. A package variable so tests can force the spill at
+// tiny lengths.
+var solverIndexLimit = 39
+
+// obsPair aggregates one state's per-label counts within a round's
+// observation: o1/o2 are the numbers of label-1/label-2 edges from nodes in
+// that state.
+type obsPair struct{ o1, o2 int }
+
 // IncrementalSolver maintains the leader's count interval across rounds
-// without re-walking the whole state tree: each AddRound extends the
-// deepest level's linear forms in place, so processing round t costs
-// O(3^{t+1}) instead of the O(3¹ + 3² + ... + 3^{t+1}) a from-scratch
-// solve-per-round loop pays. Protocol leaders (core.CountOnMultigraph,
-// chainnet) use it to re-evaluate their uncertainty every round.
+// without re-walking the whole state tree. Conceptually round t has one
+// linear form a + b·c0 per node state (3^{t+1} of them, the columns of the
+// paper's M_t); the solver exploits two structural facts to keep its working
+// set tiny:
+//
+//   - Only states descending from previously observed states can ever hold
+//     nodes — every node is connected to the leader every round, so states
+//     the observation skips are provably unpopulated, and so are their whole
+//     subtrees. Their forms still constrain the interval, but they evolve
+//     observation-independently: a form (a, b) branches into (a, b) twice
+//     (children ∘{1}, ∘{2}) and (-a, -b) once (child ∘{1,2}).
+//
+//   - Duplicate forms are therefore massively redundant, and the Lemma-3
+//     kernel structure needs only the set of forms, not which state carries
+//     which. The solver keeps an exact `sparse` map for the (few) states the
+//     next observation may mention and coalesces everything else into `bulk`
+//     multiplicity classes with the doubling rule
+//     new[g] = 2·old[g] + old[-g].
+//
+// This turns the old O(3^{t+1}) AddRound into O(observed states), which is
+// bounded by 3·|W|. Intervals are bit-for-bit those of the batch solver
+// (SolveCountInterval) on every observation sequence a real execution can
+// produce; an observation naming a provably unpopulated state — which no
+// execution produces, and which the pre-coalescing solver would silently
+// fold in — now fails loudly.
+//
+// Protocol leaders (core.CountOnMultigraph, chainnet) use it to re-evaluate
+// their uncertainty every round; the allocation-free hot path is
+// AddRoundIndexed fed by multigraph.ObservationStream.
 //
 // The zero value is not usable; construct with NewIncrementalSolver.
 type IncrementalSolver struct {
 	rounds int
 	total  int // R1(⊥) + R2(⊥); n = total - c0
-	forms  []form
+
+	// sparse holds the forms of observable states, keyed by History.Index
+	// while state length <= solverIndexLimit, then spilled to History.Key
+	// strings (sparseStr, strMode). bulk coalesces every other form into
+	// multiplicities, saturating at MaxInt (only the form set matters for
+	// the interval). The *Next twins are double buffers swapped each round
+	// so steady-state AddRounds allocate nothing beyond amortized map
+	// growth.
+	sparse, sparseNext       map[int64]form
+	sparseStr, sparseStrNext map[string]form
+	strMode                  bool
+	bulk, bulkNext           map[form]int
+
+	agg    map[int64]obsPair // per-round observation aggregation (reused)
+	aggStr map[string]obsPair
 
 	// obsRounds/obsRoundNS report per-round solve work through the
 	// process-wide collector; both nil (free) when the process is
@@ -29,7 +81,13 @@ type IncrementalSolver struct {
 
 // NewIncrementalSolver returns a solver with no observations yet.
 func NewIncrementalSolver() *IncrementalSolver {
-	s := &IncrementalSolver{}
+	s := &IncrementalSolver{
+		sparse:     make(map[int64]form),
+		sparseNext: make(map[int64]form),
+		bulk:       make(map[form]int),
+		bulkNext:   make(map[form]int),
+		agg:        make(map[int64]obsPair),
+	}
 	s.obsRounds, s.obsRoundNS = incrementalMetrics()
 	return s
 }
@@ -39,38 +97,249 @@ func (s *IncrementalSolver) Rounds() int { return s.rounds }
 
 // AddRound incorporates the observation of the next round (round index
 // s.Rounds()) and returns the updated interval of consistent sizes.
+// Entries with labels outside {1, 2}, malformed state keys, or state keys
+// of the wrong length are ignored, exactly as the pre-coalescing solver's
+// key lookups never matched them.
 func (s *IncrementalSolver) AddRound(obs multigraph.Observation) (Interval, error) {
 	start := s.obsRoundNS.Start()
 	defer func() {
 		s.obsRounds.Inc()
 		s.obsRoundNS.Stop(start)
 	}()
-	get := func(label int, y multigraph.History) int {
-		return obs[multigraph.ObsKey{Label: label, StateKey: y.Key()}]
-	}
-	if s.rounds == 0 {
-		r1 := get(1, multigraph.History{})
-		r2 := get(2, multigraph.History{})
-		s.total = r1 + r2
-		s.forms = []form{
-			{a: r1, b: -1},
-			{a: r2, b: -1},
-			{a: 0, b: +1},
+	if !s.strMode {
+		clear(s.agg)
+		for key, n := range obs {
+			if key.Label != 1 && key.Label != 2 {
+				continue
+			}
+			y, err := historyFromKey(key.StateKey, s.rounds)
+			if err != nil {
+				continue
+			}
+			si := int64(y.Index(2))
+			p := s.agg[si]
+			if key.Label == 1 {
+				p.o1 += n
+			} else {
+				p.o2 += n
+			}
+			s.agg[si] = p
 		}
 	} else {
-		next := make([]form, 3*len(s.forms))
-		for yi, f := range s.forms {
-			y := multigraph.HistoryFromIndex(yi, s.rounds, 2)
-			o1 := get(1, y)
-			o2 := get(2, y)
-			next[3*yi+0] = form{a: f.a - o2, b: f.b}
-			next[3*yi+1] = form{a: f.a - o1, b: f.b}
-			next[3*yi+2] = form{a: o1 + o2 - f.a, b: -f.b}
+		clear(s.aggStr)
+		for key, n := range obs {
+			if key.Label != 1 && key.Label != 2 {
+				continue
+			}
+			if _, err := historyFromKey(key.StateKey, s.rounds); err != nil {
+				continue
+			}
+			p := s.aggStr[key.StateKey]
+			if key.Label == 1 {
+				p.o1 += n
+			} else {
+				p.o2 += n
+			}
+			s.aggStr[key.StateKey] = p
 		}
-		s.forms = next
 	}
+	return s.addRoundAgg()
+}
+
+// AddRoundIndexed is AddRound for indexed observations (the output of
+// multigraph.ObservationStream.Next): the hot path used by the core round
+// loop, allocation-free in steady state. Duplicate entries for a state are
+// summed. Once the solver has spilled to string keys (state length beyond
+// solverIndexLimit) indexed observations can no longer address states and
+// the caller must switch to AddRound.
+func (s *IncrementalSolver) AddRoundIndexed(entries []multigraph.IndexedObsEntry) (Interval, error) {
+	start := s.obsRoundNS.Start()
+	defer func() {
+		s.obsRounds.Inc()
+		s.obsRoundNS.Stop(start)
+	}()
+	if s.strMode {
+		return Interval{}, fmt.Errorf("kernel: indexed observations unavailable past state length %d; use AddRound", solverIndexLimit)
+	}
+	clear(s.agg)
+	for _, e := range entries {
+		p := s.agg[e.State]
+		p.o1 += e.Count1
+		p.o2 += e.Count2
+		s.agg[e.State] = p
+	}
+	return s.addRoundAgg()
+}
+
+// addRoundAgg folds the aggregated observation of round s.rounds (in s.agg
+// or s.aggStr) into the solver state.
+func (s *IncrementalSolver) addRoundAgg() (Interval, error) {
+	// Children outgrow the int64 index at this round? Expand into string
+	// keys and stay there.
+	spill := !s.strMode && s.rounds+1 > solverIndexLimit
+
+	if s.rounds == 0 {
+		// Round 0 is the generic step applied to the single virtual parent
+		// ⊥ with form total - c0 (evaluating to |W|): its children are the
+		// paper's initial forms R1-c0, R2-c0, c0.
+		p := s.agg[0]
+		s.total = p.o1 + p.o2
+		s.sparse[0] = form{a: s.total, b: -1}
+	}
+
+	// Expand observed sparse states exactly; evict the rest into bulk.
+	matched := 0
+	if !s.strMode {
+		for si, f := range s.sparse {
+			if p, ok := s.agg[si]; ok && (p.o1 != 0 || p.o2 != 0) {
+				matched++
+				c0, c1, c2 := childForms(f, p)
+				if !spill {
+					s.sparseNext[3*si+0] = c0
+					s.sparseNext[3*si+1] = c1
+					s.sparseNext[3*si+2] = c2
+				} else {
+					key := multigraph.HistoryFromIndex(int(si), s.rounds, 2).Key()
+					s.spillStr(key, c0, c1, c2)
+				}
+			} else {
+				s.evict(f)
+			}
+		}
+	} else {
+		for key, f := range s.sparseStr {
+			if p, ok := s.aggStr[key]; ok && (p.o1 != 0 || p.o2 != 0) {
+				matched++
+				c0, c1, c2 := childForms(f, p)
+				s.spillStr(key, c0, c1, c2)
+			} else {
+				s.evict(f)
+			}
+		}
+	}
+	if err := s.checkOrphans(matched); err != nil {
+		return Interval{}, err
+	}
+
+	// Unpopulated classes branch observation-independently: twice into
+	// themselves, once into their reflection.
+	for g, m := range s.bulk {
+		s.bulkNext[g] = satAdd(s.bulkNext[g], satAdd(m, m))
+		ng := form{a: -g.a, b: -g.b}
+		s.bulkNext[ng] = satAdd(s.bulkNext[ng], m)
+	}
+
+	// Swap double buffers.
+	if s.strMode || spill {
+		s.sparseStr, s.sparseStrNext = s.sparseStrNext, s.sparseStr
+		clear(s.sparseStrNext)
+		if spill {
+			s.strMode = true
+			clear(s.sparse)
+			if s.aggStr == nil {
+				s.aggStr = make(map[string]obsPair)
+			}
+		}
+	} else {
+		s.sparse, s.sparseNext = s.sparseNext, s.sparse
+		clear(s.sparseNext)
+	}
+	s.bulk, s.bulkNext = s.bulkNext, s.bulk
+	clear(s.bulkNext)
+
 	s.rounds++
 	return s.Interval()
+}
+
+// childForms applies the paper's per-state recurrence: a parent with form f
+// (count of nodes in that state) and observed per-label counts p splits
+// into children ∘{1}, ∘{2}, ∘{1,2} with counts f-o2, f-o1, o1+o2-f.
+func childForms(f form, p obsPair) (form, form, form) {
+	return form{a: f.a - p.o2, b: f.b},
+		form{a: f.a - p.o1, b: f.b},
+		form{a: p.o1 + p.o2 - f.a, b: -f.b}
+}
+
+// spillStr stores the three children of parent state `key` under canonical
+// child keys.
+func (s *IncrementalSolver) spillStr(key string, c0, c1, c2 form) {
+	if s.sparseStrNext == nil {
+		s.sparseStrNext = make(map[string]form)
+	}
+	s.sparseStrNext[childKey(key, 1)] = c0
+	s.sparseStrNext[childKey(key, 2)] = c1
+	s.sparseStrNext[childKey(key, 3)] = c2
+}
+
+// childKey extends a canonical History.Key with one label-set bitmask.
+func childKey(parent string, mask int) string {
+	d := strconv.Itoa(mask)
+	if parent == "" {
+		return d
+	}
+	return parent + "." + d
+}
+
+// evict moves an unobservable parent's children into bulk: two copies of
+// the parent form, one of its reflection.
+func (s *IncrementalSolver) evict(f form) {
+	s.bulkNext[f] = satAdd(s.bulkNext[f], 2)
+	nf := form{a: -f.a, b: -f.b}
+	s.bulkNext[nf] = satAdd(s.bulkNext[nf], 1)
+}
+
+// checkOrphans errors if the observation named a state outside the sparse
+// support: such a state provably holds zero nodes, so no execution emits
+// it, and folding it in silently (as the pre-coalescing solver did) would
+// corrupt the interval.
+func (s *IncrementalSolver) checkOrphans(matched int) error {
+	observed := 0
+	if !s.strMode {
+		for _, p := range s.agg {
+			if p.o1 != 0 || p.o2 != 0 {
+				observed++
+			}
+		}
+		if matched == observed {
+			return nil
+		}
+		for si, p := range s.agg {
+			if (p.o1 != 0 || p.o2 != 0) && !s.inSparse(si) {
+				return fmt.Errorf("kernel: round-%d observation names state index %d, which no consistent execution populates", s.rounds, si)
+			}
+		}
+	} else {
+		for _, p := range s.aggStr {
+			if p.o1 != 0 || p.o2 != 0 {
+				observed++
+			}
+		}
+		if matched == observed {
+			return nil
+		}
+		for key, p := range s.aggStr {
+			if p.o1 != 0 || p.o2 != 0 {
+				if _, ok := s.sparseStr[key]; !ok {
+					return fmt.Errorf("kernel: round-%d observation names state %q, which no consistent execution populates", s.rounds, key)
+				}
+			}
+		}
+	}
+	return fmt.Errorf("kernel: round-%d observation names an unpopulated state", s.rounds)
+}
+
+func (s *IncrementalSolver) inSparse(si int64) bool {
+	_, ok := s.sparse[si]
+	return ok
+}
+
+// satAdd returns a+b for non-negative operands, saturating at MaxInt.
+func satAdd(a, b int) int {
+	c := a + b
+	if c < a {
+		return math.MaxInt
+	}
+	return c
 }
 
 // Interval returns the current interval of consistent sizes. Before any
@@ -81,15 +350,31 @@ func (s *IncrementalSolver) Interval() (Interval, error) {
 	}
 	const unset = int(^uint(0) >> 1)
 	lo, hi := 0, unset
-	for _, f := range s.forms {
+	for _, f := range s.sparse {
 		if f.b > 0 {
 			if c := -f.a; c > lo {
 				lo = c
 			}
-		} else {
-			if f.a < hi {
-				hi = f.a
+		} else if f.a < hi {
+			hi = f.a
+		}
+	}
+	for _, f := range s.sparseStr {
+		if f.b > 0 {
+			if c := -f.a; c > lo {
+				lo = c
 			}
+		} else if f.a < hi {
+			hi = f.a
+		}
+	}
+	for f := range s.bulk {
+		if f.b > 0 {
+			if c := -f.a; c > lo {
+				lo = c
+			}
+		} else if f.a < hi {
+			hi = f.a
 		}
 	}
 	if hi == unset {

@@ -62,6 +62,180 @@ func TestIncrementalDetectsInconsistency(t *testing.T) {
 	}
 }
 
+// TestIncrementalIndexedMatchesString drives one solver through
+// AddRoundIndexed (fed by an ObservationStream) and a twin through the
+// string-keyed AddRound on the same multigraphs: the intervals must be
+// identical at every round.
+func TestIncrementalIndexedMatchesString(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		mg, err := multigraph.Random(2, int(2+seed%8), 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := mg.NewObservationStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := NewIncrementalSolver()
+		slow := NewIncrementalSolver()
+		for r := 0; r < 6; r++ {
+			entries, err := stream.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.AddRoundIndexed(entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := mg.LeaderObservation(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := slow.AddRound(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed=%d round=%d: indexed %v != string %v", seed, r, got, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalSpillMode forces the int64-index capacity limit down to 2
+// so the sparse layer spills to string keys after a few rounds, and checks
+// that the spilled solver still matches the batch solver — and that
+// AddRoundIndexed refuses further indexed input once spilled.
+func TestIncrementalSpillMode(t *testing.T) {
+	prev := solverIndexLimit
+	solverIndexLimit = 2
+	defer func() { solverIndexLimit = prev }()
+
+	for seed := int64(0); seed < 10; seed++ {
+		mg, err := multigraph.Random(2, int(2+seed%6), 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := NewIncrementalSolver()
+		for rounds := 1; rounds <= 6; rounds++ {
+			view := mustView(t, mg, rounds)
+			got, err := inc.AddRound(view[rounds-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SolveCountInterval(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed=%d rounds=%d: spilled incremental %v != batch %v", seed, rounds, got, want)
+			}
+		}
+		if !inc.strMode {
+			t.Fatalf("seed=%d: solver did not spill past limit %d (rounds=%d)", seed, solverIndexLimit, inc.Rounds())
+		}
+		if _, err := inc.AddRoundIndexed(nil); err == nil {
+			t.Fatal("AddRoundIndexed succeeded in string mode; want capacity error")
+		}
+	}
+}
+
+// TestIncrementalOrphanObservation checks the loud-failure contract: an
+// observation naming a state the previous rounds prove unpopulated is an
+// error, not a silently folded-in constraint.
+func TestIncrementalOrphanObservation(t *testing.T) {
+	key := func(sets ...multigraph.LabelSet) string {
+		return multigraph.History(sets).Key()
+	}
+	inc := NewIncrementalSolver()
+	// Round 0: two nodes on label 1 at the root state.
+	if _, err := inc.AddRound(multigraph.Observation{
+		{Label: 1, StateKey: key()}: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: both nodes moved to state {1}; states {2} and {1,2} are now
+	// provably unpopulated, along with their whole subtrees.
+	if _, err := inc.AddRound(multigraph.Observation{
+		{Label: 1, StateKey: key(multigraph.SetOf(1))}: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: an observation from a child of the evicted state {2}.
+	_, err := inc.AddRound(multigraph.Observation{
+		{Label: 1, StateKey: key(multigraph.SetOf(2), multigraph.SetOf(1))}: 1,
+	})
+	if err == nil {
+		t.Fatal("observation of a provably unpopulated state was accepted")
+	}
+}
+
+// TestAddRoundAllocCeiling locks the steady-state allocation budget of the
+// solver's two ingestion paths. The per-round cost is isolated by running a
+// short and a long trajectory over precomputed observations and dividing
+// the difference, so construction and warm-up are excluded.
+func TestAddRoundAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	const shortR, longR = 4, 14
+	mg, err := multigraph.Random(2, 16, longR, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot both observation encodings up front.
+	stream, err := mg.NewObservationStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := make([][]multigraph.IndexedObsEntry, longR)
+	strObs := make([]multigraph.Observation, longR)
+	for r := 0; r < longR; r++ {
+		entries, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed[r] = append([]multigraph.IndexedObsEntry(nil), entries...)
+		if strObs[r], err = mg.LeaderObservation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	perRound := func(run func(rounds int)) float64 {
+		short := testing.AllocsPerRun(20, func() { run(shortR) })
+		long := testing.AllocsPerRun(20, func() { run(longR) })
+		return (long - short) / float64(longR-shortR)
+	}
+
+	got := perRound(func(rounds int) {
+		s := NewIncrementalSolver()
+		for r := 0; r < rounds; r++ {
+			if _, err := s.AddRoundIndexed(indexed[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// Steady-state AddRoundIndexed allocates only amortized map growth for
+	// the sparse/bulk double buffers; 24/round is ~3x measured headroom.
+	if got > 24 {
+		t.Fatalf("AddRoundIndexed allocates %.1f/round, want <= 24", got)
+	}
+
+	got = perRound(func(rounds int) {
+		s := NewIncrementalSolver()
+		for r := 0; r < rounds; r++ {
+			if _, err := s.AddRound(strObs[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// AddRound additionally parses one History per observation class; the
+	// observation here has <= 3*16 classes per round.
+	if got > 160 {
+		t.Fatalf("AddRound allocates %.1f/round, want <= 160", got)
+	}
+}
+
 func TestIncrementalWorstCaseTrajectory(t *testing.T) {
 	// The incremental intervals along a worst-case schedule shrink and
 	// collapse exactly when the batch solver says so.

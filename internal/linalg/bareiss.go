@@ -1,0 +1,276 @@
+package linalg
+
+// Fraction-free Gauss-Jordan elimination (Bareiss). The classical big.Rat
+// elimination in eliminate.go spends most of its time normalizing rationals:
+// every pivot step allocates fresh numerator/denominator pairs and runs a GCD
+// per entry. The fraction-free scheme keeps every intermediate value integral
+// by the Bareiss identity
+//
+//	a'[i][j] = (piv*a[i][j] - a[i][c]*a[r][j]) / prev
+//
+// where prev is the previous pivot (1 initially); every division is exact, and
+// after the final pivot the working matrix equals d * RREF(m) for d = the last
+// pivot. The hot path runs on native int64 with explicit overflow checks and
+// spills to big.Int arithmetic only at the first operation that would
+// overflow — the pivot step is double-buffered so the intact pre-step state
+// can be promoted and the step redone exactly.
+//
+// The node-count systems this package serves have ±1/small-integer
+// coefficients, so in practice whole solves complete in int64; the spill path
+// exists for correctness, not speed, and is exercised directly by tests and
+// the linalg-fastpath check oracle.
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+
+	"anondyn/internal/obs"
+)
+
+// rrefFast computes the reduced row echelon form of m over the rationals via
+// fraction-free Gauss-Jordan elimination. It returns the same entries/pivots
+// as the retained big.Rat reference path (rrefReference), bit for bit.
+func rrefFast(m *Matrix) ([][]*big.Rat, []int) {
+	var (
+		pivotCtr *obs.Counter
+		peakBits *obs.Gauge
+	)
+	if col := obs.Global(); col != nil {
+		pivotCtr = col.Counter(obs.LinalgPivots)
+		peakBits = col.Gauge(obs.LinalgPeakBits)
+	}
+	rows, cols := m.rows, m.cols
+	pivots := make([]int, 0, min(rows, cols))
+
+	// Load the int64 image; any entry outside int64 forces big mode from the
+	// start.
+	inInt := true
+	cur := make([]int64, rows*cols)
+	for i, e := range m.a {
+		if !e.IsInt64() {
+			inInt = false
+			break
+		}
+		cur[i] = e.Int64()
+	}
+	var (
+		nxt     []int64 // post-step buffer for the double-buffered int64 path
+		abig    []*big.Int
+		prevBig *big.Int
+	)
+	if inInt {
+		nxt = make([]int64, rows*cols)
+	} else {
+		abig = make([]*big.Int, rows*cols)
+		for i, e := range m.a {
+			abig[i] = new(big.Int).Set(e)
+		}
+		prevBig = big.NewInt(1)
+	}
+	prev := int64(1)
+
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		if inInt {
+			p := -1
+			for i := r; i < rows; i++ {
+				if cur[i*cols+c] != 0 {
+					p = i
+					break
+				}
+			}
+			if p == -1 {
+				continue
+			}
+			if p != r {
+				swapRows64(cur, cols, p, r)
+			}
+			piv := cur[r*cols+c]
+			if ffStep64(cur, nxt, rows, cols, r, c, piv, prev) {
+				cur, nxt = nxt, cur
+				prev = piv
+			} else {
+				// Overflow mid-step: cur still holds the exact pre-step
+				// state (the swap is order-only). Promote it and redo the
+				// step in big.Int arithmetic; all later pivots stay big.
+				abig = make([]*big.Int, rows*cols)
+				for i, v := range cur {
+					abig[i] = big.NewInt(v)
+				}
+				prevBig = big.NewInt(prev)
+				inInt = false
+				piv := new(big.Int).Set(abig[r*cols+c])
+				ffStepBig(abig, rows, cols, r, c, prevBig)
+				prevBig = piv
+			}
+		} else {
+			p := -1
+			for i := r; i < rows; i++ {
+				if abig[i*cols+c].Sign() != 0 {
+					p = i
+					break
+				}
+			}
+			if p == -1 {
+				continue
+			}
+			if p != r {
+				for j := 0; j < cols; j++ {
+					abig[p*cols+j], abig[r*cols+j] = abig[r*cols+j], abig[p*cols+j]
+				}
+			}
+			piv := new(big.Int).Set(abig[r*cols+c])
+			ffStepBig(abig, rows, cols, r, c, prevBig)
+			prevBig = piv
+		}
+		pivotCtr.Inc()
+		if peakBits != nil {
+			// Track the widest entry in the pivot row — the coefficient
+			// growth exact elimination is paying for.
+			w := int64(0)
+			for j := 0; j < cols; j++ {
+				var b int64
+				if inInt {
+					b = int64(bits.Len64(abs64(cur[r*cols+j])))
+				} else {
+					b = int64(abig[r*cols+j].BitLen())
+				}
+				if b > w {
+					w = b
+				}
+			}
+			peakBits.SetMax(w)
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+
+	// The working matrix is d*RREF for d = the final prev; divide out.
+	out := make([][]*big.Rat, rows)
+	if inInt {
+		d := big.NewInt(prev)
+		n := new(big.Int)
+		for i := 0; i < rows; i++ {
+			out[i] = make([]*big.Rat, cols)
+			for j := 0; j < cols; j++ {
+				n.SetInt64(cur[i*cols+j])
+				out[i][j] = new(big.Rat).SetFrac(n, d)
+			}
+		}
+	} else {
+		for i := 0; i < rows; i++ {
+			out[i] = make([]*big.Rat, cols)
+			for j := 0; j < cols; j++ {
+				out[i][j] = new(big.Rat).SetFrac(abig[i*cols+j], prevBig)
+			}
+		}
+	}
+	return out, pivots
+}
+
+// ffStep64 applies one fraction-free Gauss-Jordan pivot step on int64,
+// reading the pre-step state from cur and writing the post-step state to nxt
+// (the pivot row is copied unchanged). It reports false at the first
+// operation that would overflow int64, in which case nxt is garbage and cur
+// is untouched.
+func ffStep64(cur, nxt []int64, rows, cols, r, c int, piv, prev int64) bool {
+	base := r * cols
+	copy(nxt[base:base+cols], cur[base:base+cols])
+	for i := 0; i < rows; i++ {
+		if i == r {
+			continue
+		}
+		ib := i * cols
+		f := cur[ib+c]
+		for j := 0; j < cols; j++ {
+			t1, ok := mul64(piv, cur[ib+j])
+			if !ok {
+				return false
+			}
+			t2, ok := mul64(f, cur[base+j])
+			if !ok {
+				return false
+			}
+			t3, ok := sub64(t1, t2)
+			if !ok {
+				return false
+			}
+			if t3 == math.MinInt64 && prev == -1 {
+				return false // |MinInt64/-1| does not fit
+			}
+			nxt[ib+j] = t3 / prev // exact by Bareiss' theorem
+		}
+	}
+	return true
+}
+
+// ffStepBig applies the same pivot step on []*big.Int in place. The pivot row
+// is read-only during the step, and the multiplier a[i][c] is snapshotted
+// before row i is overwritten, so in-place update is safe.
+func ffStepBig(a []*big.Int, rows, cols, r, c int, prev *big.Int) {
+	base := r * cols
+	piv := new(big.Int).Set(a[base+c])
+	f := new(big.Int)
+	t := new(big.Int)
+	u := new(big.Int)
+	for i := 0; i < rows; i++ {
+		if i == r {
+			continue
+		}
+		ib := i * cols
+		f.Set(a[ib+c])
+		for j := 0; j < cols; j++ {
+			t.Mul(piv, a[ib+j])
+			u.Mul(f, a[base+j])
+			t.Sub(t, u)
+			a[ib+j].Quo(t, prev) // exact by Bareiss' theorem
+		}
+	}
+}
+
+func swapRows64(a []int64, cols, p, r int) {
+	pb, rb := p*cols, r*cols
+	for j := 0; j < cols; j++ {
+		a[pb+j], a[rb+j] = a[rb+j], a[pb+j]
+	}
+}
+
+// mul64 returns a*b and whether it fit in int64.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// sub64 returns a-b and whether it fit in int64.
+func sub64(a, b int64) (int64, bool) {
+	if (b > 0 && a < math.MinInt64+b) || (b < 0 && a > math.MaxInt64+b) {
+		return 0, false
+	}
+	return a - b, true
+}
+
+// abs64 returns |v| as a uint64 (correct for MinInt64, whose magnitude is
+// 1<<63).
+func abs64(v int64) uint64 {
+	u := uint64(v)
+	if v < 0 {
+		u = -u
+	}
+	return u
+}

@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 )
 
@@ -9,14 +10,91 @@ import (
 // fraction-free Bareiss algorithm: all intermediate values stay integral,
 // so the result is exact. Used by tests of Lemma 2's base case
 // (det(M_0 minor) = 1) and by consumers needing exact singularity checks.
+//
+// The computation first runs on native int64 with overflow checks and
+// restarts on the big.Int path only if an intermediate product would not
+// fit (the same fast-path/fallback design as rref; see bareiss.go).
 func (m *Matrix) Det() (*big.Int, error) {
 	if m.rows != m.cols {
 		return nil, fmt.Errorf("linalg: determinant of non-square %dx%d matrix", m.rows, m.cols)
 	}
-	n := m.rows
-	if n == 0 {
+	if m.rows == 0 {
 		return big.NewInt(1), nil
 	}
+	if d, ok := m.det64(); ok {
+		return d, nil
+	}
+	return m.detBig(), nil
+}
+
+// det64 runs Bareiss forward elimination on int64. It reports false if any
+// input entry or intermediate value does not fit, in which case the caller
+// restarts on the big.Int path (a det call is cheap enough that resuming
+// mid-stream, as rref does, is not worth the bookkeeping here).
+func (m *Matrix) det64() (*big.Int, bool) {
+	n := m.rows
+	a := make([]int64, n*n)
+	for i, e := range m.a {
+		if !e.IsInt64() {
+			return nil, false
+		}
+		a[i] = e.Int64()
+	}
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		if a[k*n+k] == 0 {
+			swapped := false
+			for i := k + 1; i < n; i++ {
+				if a[i*n+k] != 0 {
+					swapRows64(a, n, i, k)
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return new(big.Int), true // singular
+			}
+		}
+		piv := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k]
+			for j := k + 1; j < n; j++ {
+				t1, ok := mul64(piv, a[i*n+j])
+				if !ok {
+					return nil, false
+				}
+				t2, ok := mul64(f, a[k*n+j])
+				if !ok {
+					return nil, false
+				}
+				t3, ok := sub64(t1, t2)
+				if !ok {
+					return nil, false
+				}
+				if t3 == math.MinInt64 && prev == -1 {
+					return nil, false
+				}
+				a[i*n+j] = t3 / prev // exact by Bareiss' theorem
+			}
+			a[i*n+k] = 0
+		}
+		prev = piv
+	}
+	det := a[n*n-1]
+	if sign < 0 {
+		if det == math.MinInt64 {
+			return nil, false
+		}
+		det = -det
+	}
+	return big.NewInt(det), true
+}
+
+// detBig is the retained arbitrary-precision Bareiss elimination.
+func (m *Matrix) detBig() *big.Int {
+	n := m.rows
 	// Work on a copy.
 	a := make([][]*big.Int, n)
 	for i := 0; i < n; i++ {
@@ -41,7 +119,7 @@ func (m *Matrix) Det() (*big.Int, error) {
 				}
 			}
 			if !swapped {
-				return new(big.Int), nil // singular
+				return new(big.Int) // singular
 			}
 		}
 		for i := k + 1; i < n; i++ {
@@ -62,5 +140,5 @@ func (m *Matrix) Det() (*big.Int, error) {
 	if sign < 0 {
 		det.Neg(det)
 	}
-	return det, nil
+	return det
 }

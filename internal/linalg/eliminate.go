@@ -3,26 +3,43 @@ package linalg
 import (
 	"fmt"
 	"math/big"
-
-	"anondyn/internal/obs"
 )
 
 // rref computes the reduced row echelon form of m over the rationals.
 // It returns the RREF entries and the list of pivot columns.
 //
+// Since PR 5 this dispatches to the fraction-free int64 fast path in
+// bareiss.go, which falls back to big.Int arithmetic only when a pivot
+// product would overflow. The classical big.Rat elimination below is
+// retained as rrefReference: the two are bit-for-bit equivalent, which the
+// linalg-fastpath check oracle verifies on randomized matrices.
+//
 // When a process-wide obs collector is installed, rref reports the number
-// of elimination pivots it consumes and the peak big.Int bit-length it
-// encounters in pivot rows (the quantity that governs rational-arithmetic
+// of elimination pivots it consumes and the peak integer bit-length it
+// encounters in pivot rows (the quantity that governs exact-arithmetic
 // cost). Unobserved processes pay one nil check per rref call.
 func rref(m *Matrix) ([][]*big.Rat, []int) {
-	var (
-		pivotCtr *obs.Counter
-		peakBits *obs.Gauge
-	)
-	if col := obs.Global(); col != nil {
-		pivotCtr = col.Counter(obs.LinalgPivots)
-		peakBits = col.Gauge(obs.LinalgPeakBits)
-	}
+	return rrefFast(m)
+}
+
+// RREF returns the reduced row echelon form of m over the rationals and the
+// list of pivot columns, computed by the fraction-free fast path. Exported
+// for differential testing (internal/check's linalg-fastpath oracle).
+func (m *Matrix) RREF() ([][]*big.Rat, []int) {
+	return rrefFast(m)
+}
+
+// RREFReference returns the same result as RREF, computed by the retained
+// classical big.Rat elimination. It is the slow, obviously-correct reference
+// the fast path is checked against; production callers use RREF.
+func (m *Matrix) RREFReference() ([][]*big.Rat, []int) {
+	return rrefReference(m)
+}
+
+// rrefReference is the pre-PR-5 big.Rat Gauss-Jordan elimination, kept as
+// the reference implementation for differential checks. Uninstrumented: obs
+// pivot/peak-bits metrics are reported by the production path only.
+func rrefReference(m *Matrix) ([][]*big.Rat, []int) {
 	rows, cols := m.rows, m.cols
 	a := make([][]*big.Rat, rows)
 	for i := 0; i < rows; i++ {
@@ -61,21 +78,6 @@ func rref(m *Matrix) ([][]*big.Rat, []int) {
 				t := new(big.Rat).Mul(f, a[r][j])
 				a[i][j].Sub(a[i][j], t)
 			}
-		}
-		pivotCtr.Inc()
-		if peakBits != nil {
-			// Track the widest numerator/denominator in the pivot row —
-			// the coefficient growth exact elimination is paying for.
-			w := int64(0)
-			for j := c; j < cols; j++ {
-				if b := int64(a[r][j].Num().BitLen()); b > w {
-					w = b
-				}
-				if b := int64(a[r][j].Denom().BitLen()); b > w {
-					w = b
-				}
-			}
-			peakBits.SetMax(w)
 		}
 		pivots = append(pivots, c)
 		r++

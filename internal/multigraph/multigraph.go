@@ -44,36 +44,76 @@ func New(k int, labels [][]LabelSet) (*Multigraph, error) {
 	return &Multigraph{k: k, horizon: horizon, labels: cp}, nil
 }
 
+// newOwned wraps a label schedule without validating or copying it. Internal
+// constructors that build rows themselves (FromHistoryCounts, Extended) use
+// it to skip New's defensive copy; the caller guarantees every row has
+// length `horizon` with label sets valid for k, and cedes ownership (rows
+// may be shared between nodes — a Multigraph never mutates or exposes its
+// backing arrays).
+func newOwned(k, horizon int, labels [][]LabelSet) *Multigraph {
+	return &Multigraph{k: k, horizon: horizon, labels: labels}
+}
+
+// Extended returns a copy of m running `extra` additional rounds in which
+// every node carries the label set fill. It is the allocation-light
+// primitive behind core.Pair.Extend: one row allocation per node, no
+// intermediate schedule.
+func (m *Multigraph) Extended(extra int, fill LabelSet) (*Multigraph, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("multigraph: negative extension %d", extra)
+	}
+	if !fill.Valid(m.k) {
+		return nil, fmt.Errorf("multigraph: invalid fill label set %v for k=%d", uint32(fill), m.k)
+	}
+	horizon := m.horizon + extra
+	labels := make([][]LabelSet, len(m.labels))
+	for v, row := range m.labels {
+		nr := make([]LabelSet, horizon)
+		copy(nr, row)
+		for r := m.horizon; r < horizon; r++ {
+			nr[r] = fill
+		}
+		labels[v] = nr
+	}
+	return newOwned(m.k, horizon, labels), nil
+}
+
 // FromHistoryCounts builds a multigraph from a count-per-history vector:
 // counts[i] nodes follow the history HistoryFromIndex(i, length, k).
 // This is how the kernel package's solution vectors s_r become concrete
 // multigraphs (each count vector with non-negative entries is realizable,
 // as used in Lemma 5's proof).
 func FromHistoryCounts(k, length int, counts []int) (*Multigraph, error) {
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("multigraph: alphabet size k=%d out of range [1,%d]", k, MaxK)
+	}
 	if want := HistoryCount(length, k); len(counts) != want {
 		return nil, fmt.Errorf("multigraph: %d counts for %d histories of length %d", len(counts), want, length)
 	}
-	var labels [][]LabelSet
+	total := 0
 	for i, c := range counts {
 		if c < 0 {
 			return nil, fmt.Errorf("multigraph: negative count %d for history %d", c, i)
 		}
+		total += c
+	}
+	labels := make([][]LabelSet, 0, total)
+	for i, c := range counts {
+		if c == 0 {
+			continue // skip the (typically vast) unpopulated histories
+		}
+		// Nodes on the same history share one row; rows are never mutated
+		// or exposed, so sharing is safe (see newOwned).
 		h := HistoryFromIndex(i, length, k)
 		for j := 0; j < c; j++ {
 			labels = append(labels, []LabelSet(h))
 		}
 	}
-	m, err := New(k, labels)
-	if err != nil {
-		return nil, err
-	}
-	// With no nodes the horizon cannot be inferred from the schedule;
-	// preserve the requested length so W=0 multigraphs (a lone leader)
-	// behave uniformly.
-	if len(labels) == 0 {
-		m.horizon = length
-	}
-	return m, nil
+	// HistoryFromIndex emits valid label sets by construction and every row
+	// has length `length`, so the owned constructor applies. It also keeps
+	// the requested horizon for W=0 multigraphs (a lone leader), which New
+	// could not infer from an empty schedule.
+	return newOwned(k, length, labels), nil
 }
 
 // Random returns a multigraph whose label sets are drawn uniformly from the

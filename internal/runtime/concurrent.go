@@ -52,7 +52,12 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 		degree int // -1 when the process is not DegreeAware
 	}
 	var (
-		outbox  = make([]Message, n)
+		outbox = make([]Message, n)
+		// Inboxes live in engine-owned scratch reused across rounds; the
+		// round barriers give the required happens-before edges (assemble
+		// precedes the deliver tokens, and every Receive completes before
+		// the coordinator's next assemble).
+		sc      = newRoundScratch(cfg, n)
 		inboxes [][]Message
 
 		start   = make([]chan roundWork, n)
@@ -209,7 +214,7 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 			}
 		}
 
-		inboxes = assembleInboxes(cfg, g, outbox)
+		inboxes = sc.assemble(g, outbox)
 		if m.messages != nil {
 			m.messages.Add(delivered(inboxes))
 		}

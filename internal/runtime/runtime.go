@@ -30,7 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"anondyn/internal/dynet"
@@ -55,6 +56,12 @@ type Process interface {
 	Send(r int) Message
 	// Receive delivers the canonical-order multiset of neighbor messages
 	// for round r.
+	//
+	// Ownership rule: msgs aliases an engine-owned buffer that is reused
+	// for the next round, so it is valid only for the duration of the
+	// call. A process that retains messages across rounds must copy the
+	// slice (the Message values themselves are never mutated by the
+	// engine and may be retained).
 	Receive(r int, msgs []Message)
 }
 
@@ -190,36 +197,96 @@ func ConcurrentEngine(ctx context.Context) Engine {
 	return func(cfg *Config) (int, error) { return RunConcurrentCtx(ctx, cfg) }
 }
 
-// guard invokes fn, converting a panic into a *ProcessPanicError
+// The per-phase guards convert a protocol panic into a *ProcessPanicError
 // attributed to node v at round r. The sequential engine wraps each
-// protocol call with it; the concurrent engine installs the equivalent
-// recover in each worker goroutine.
-func guard(v, r int, fn func()) (err error) {
+// protocol call with one; the concurrent engine installs the equivalent
+// recover in each worker goroutine. One dedicated function per phase keeps
+// the hot loop free of closure allocations.
+
+func guardSend(p Process, v, r int, outbox []Message) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = &ProcessPanicError{Node: v, Round: r, Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	fn()
+	outbox[v] = p.Send(r)
 	return nil
 }
 
-// assembleInboxes groups the round's broadcasts by receiver and sorts each
-// inbox canonically. outbox[i] is the message node i broadcast on graph g.
-func assembleInboxes(cfg *Config, g *graph.Graph, outbox []Message) [][]Message {
-	n := g.N()
-	canon := cfg.canon()
-	inboxes := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		nb := g.Neighbors(graph.NodeID(v))
-		in := make([]Message, len(nb))
-		for i, u := range nb {
-			in[i] = outbox[u]
+func guardReceive(p Process, v, r int, msgs []Message) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &ProcessPanicError{Node: v, Round: r, Value: rec, Stack: debug.Stack()}
 		}
-		sort.SliceStable(in, func(a, b int) bool {
-			return canon(in[a]) < canon(in[b])
-		})
-		inboxes[v] = in
+	}()
+	p.Receive(r, msgs)
+	return nil
+}
+
+func guardSetDegree(da DegreeAware, v, r, degree int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &ProcessPanicError{Node: v, Round: r, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	da.SetDegree(r, degree)
+	return nil
+}
+
+// inboxEntry pairs a broadcast with its canonical key for sorting.
+type inboxEntry struct {
+	key string
+	msg Message
+}
+
+// roundScratch holds the engine-owned buffers reused across rounds when
+// assembling inboxes: the per-receiver inbox slices, the per-sender
+// canonical keys (computed once per sender per round instead of once per
+// comparison), and the neighbor/sort scratch. Reuse is what makes the
+// round loop allocation-free in steady state — and is why inbox slices
+// handed to Process.Receive are valid only during the call (see the
+// Receive ownership rule).
+type roundScratch struct {
+	canon   Canonicalizer
+	inboxes [][]Message
+	keys    []string
+	nb      []graph.NodeID
+	entries []inboxEntry
+}
+
+func newRoundScratch(cfg *Config, n int) *roundScratch {
+	return &roundScratch{
+		canon:   cfg.canon(),
+		inboxes: make([][]Message, n),
+		keys:    make([]string, n),
 	}
-	return inboxes
+}
+
+// assemble groups the round's broadcasts by receiver and sorts each inbox
+// canonically. outbox[i] is the message node i broadcast on graph g. The
+// returned slices are owned by the scratch and overwritten by the next
+// assemble call.
+func (sc *roundScratch) assemble(g *graph.Graph, outbox []Message) [][]Message {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		sc.keys[u] = sc.canon(outbox[u])
+	}
+	for v := 0; v < n; v++ {
+		sc.nb = g.NeighborsAppend(graph.NodeID(v), sc.nb[:0])
+		sc.entries = sc.entries[:0]
+		for _, u := range sc.nb {
+			sc.entries = append(sc.entries, inboxEntry{key: sc.keys[u], msg: outbox[u]})
+		}
+		// Stable by key with senders pre-sorted by NodeID: the same
+		// delivery order the previous sort.SliceStable-per-inbox produced.
+		slices.SortStableFunc(sc.entries, func(a, b inboxEntry) int {
+			return strings.Compare(a.key, b.key)
+		})
+		in := sc.inboxes[v][:0]
+		for i := range sc.entries {
+			in = append(in, sc.entries[i].msg)
+		}
+		sc.inboxes[v] = in
+	}
+	return sc.inboxes
 }

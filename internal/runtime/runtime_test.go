@@ -19,7 +19,9 @@ type floodProc struct {
 func (f *floodProc) Send(int) Message { return f.has }
 
 func (f *floodProc) Receive(r int, msgs []Message) {
-	f.received = append(f.received, msgs)
+	// Per the Receive ownership rule, msgs is engine-owned and reused next
+	// round; retaining it across rounds requires a copy.
+	f.received = append(f.received, append([]Message(nil), msgs...))
 	if f.has {
 		return
 	}

@@ -34,6 +34,7 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 	m := cfg.metrics()
 	n := cfg.Net.N()
 	outbox := make([]Message, n)
+	sc := newRoundScratch(cfg, n)
 	for r := 0; r < cfg.MaxRounds; r++ {
 		if err := ctx.Err(); err != nil {
 			m.cancels.Inc()
@@ -54,7 +55,7 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 			for v := 0; v < n; v++ {
 				if da, ok := cfg.Procs[v].(DegreeAware); ok {
 					deg := g.Degree(graph.NodeID(v))
-					if err := guard(v, r, func() { da.SetDegree(r, deg) }); err != nil {
+					if err := guardSetDegree(da, v, r, deg); err != nil {
 						m.panics.Inc()
 						return r, err
 					}
@@ -63,8 +64,7 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 		}
 		// Send phase.
 		for v := 0; v < n; v++ {
-			p := cfg.Procs[v]
-			if err := guard(v, r, func() { outbox[v] = p.Send(r) }); err != nil {
+			if err := guardSend(cfg.Procs[v], v, r, outbox); err != nil {
 				m.panics.Inc()
 				return r, err
 			}
@@ -82,13 +82,12 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 			}
 		}
 		// Receive phase.
-		inboxes := assembleInboxes(cfg, g, outbox)
+		inboxes := sc.assemble(g, outbox)
 		if m.messages != nil {
 			m.messages.Add(delivered(inboxes))
 		}
 		for v := 0; v < n; v++ {
-			p := cfg.Procs[v]
-			if err := guard(v, r, func() { p.Receive(r, inboxes[v]) }); err != nil {
+			if err := guardReceive(cfg.Procs[v], v, r, inboxes[v]); err != nil {
 				m.panics.Inc()
 				return r, err
 			}
