@@ -8,6 +8,7 @@
 //	anondyn -algo star -n 40                   # one-round star counter
 //	anondyn -algo pushsum -n 40 -seed 7        # gossip estimate, fair churn
 //	anondyn -algo chain -n 40 -chain 5         # Corollary 1 end to end
+//	anondyn -algo star -n 40 -engine sharded   # same, on the sharded engine
 //	anondyn -algo upperbound -n 40             # degree-bound baseline [15]
 //	anondyn -algo anonymous -n 40              # anonymous-relay threading
 //	anondyn -algo unconscious -n 40            # conscious vs unconscious [12]
@@ -52,7 +53,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "seed for randomized adversaries")
 	bound := fs.Bool("bound", false, "print the exact Theorem 1 bound for -n and exit")
 	pair := fs.Bool("pair", false, "construct and describe the adversarial pair for -n and exit")
-	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-node engine")
+	engineName := fs.String("engine", "", "round engine: sequential (default) | concurrent | sharded")
+	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-node engine (alias for -engine concurrent)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	obsCfg := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -67,9 +69,19 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	defer func() { err = obsCfg.Finish(err) }()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
-	engine := runtime.SequentialEngine(ctx)
-	if *concurrent {
+	if *concurrent && *engineName == "" {
+		*engineName = "concurrent"
+	}
+	var engine runtime.Engine
+	switch *engineName {
+	case "", "sequential":
+		engine = runtime.SequentialEngine(ctx)
+	case "concurrent":
 		engine = runtime.ConcurrentEngine(ctx)
+	case "sharded":
+		engine = runtime.ShardedEngine(ctx)
+	default:
+		return cli.Usagef("unknown engine %q (want sequential, concurrent, or sharded)", *engineName)
 	}
 	switch {
 	case *bound:

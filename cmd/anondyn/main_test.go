@@ -124,6 +124,23 @@ func TestConcurrentFlag(t *testing.T) {
 	}
 }
 
+func TestEngineFlag(t *testing.T) {
+	for _, eng := range []string{"sequential", "concurrent", "sharded"} {
+		out, err := capture(t, []string{"-algo", "star", "-n", "5", "-engine", eng})
+		if err != nil {
+			t.Fatalf("-engine %s: %v", eng, err)
+		}
+		if !strings.Contains(out, "counted 6 nodes") {
+			t.Fatalf("-engine %s output:\n%s", eng, out)
+		}
+	}
+	if _, err := capture(t, []string{"-algo", "star", "-n", "5", "-engine", "turbo"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	} else if got := cli.ExitCode(err); got != cli.ExitUsage {
+		t.Fatalf("unknown engine exits %d, want %d", got, cli.ExitUsage)
+	}
+}
+
 func TestErrorsAndUsage(t *testing.T) {
 	cases := [][]string{
 		{},                           // nothing requested

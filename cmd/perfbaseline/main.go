@@ -1,16 +1,18 @@
 // Command perfbaseline measures the pinned performance workloads of this
 // repo — the sequential engine round loop (with the observability layer
-// disabled and enabled), the incremental kernel solve on a worst-case
-// schedule, the coalesced solver's indexed ingestion path, the linalg RREF
-// fast path on both sides of the int64→big.Int fallback boundary, a full
-// smoke sweep campaign, and the raw obs handle operations — and writes the
-// results as JSON (BENCH_PR5.json). The committed snapshot is the reference
+// disabled and enabled), the sharded engine at 64 and 10⁶ nodes, the
+// incremental kernel solve on a worst-case schedule, the coalesced solver's
+// indexed ingestion path (including the million-node stream feed), the
+// linalg RREF fast path on both sides of the int64→big.Int fallback
+// boundary, a full smoke sweep campaign, and the raw obs handle operations
+// — and writes the results as JSON (BENCH_PR6.json). The committed
+// snapshot is the reference
 // point for spotting regressions in the hot paths; the disabled/enabled
 // benchmark pairs quantify the instrumentation overhead itself.
 //
 // Usage:
 //
-//	perfbaseline [-o BENCH_PR5.json] [-filter substring] [-benchtime 1s]
+//	perfbaseline [-o BENCH_PR6.json] [-filter substring] [-benchtime 1s]
 //	             [-compare old.json] [-threshold 3.0]
 //
 // With -compare, per-benchmark deltas against the old baseline are printed
@@ -64,7 +66,7 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// baseline is the BENCH_PR5.json payload. It carries the toolchain and
+// baseline is the BENCH_PR<N>.json payload. It carries the toolchain and
 // platform (numbers are meaningless without them) but deliberately no
 // timestamp, so regenerating on the same machine produces minimal diffs.
 type baseline struct {
@@ -78,7 +80,7 @@ type baseline struct {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("perfbaseline", flag.ContinueOnError)
-	outPath := fs.String("o", "BENCH_PR5.json", "output `file` (\"-\" for stdout only)")
+	outPath := fs.String("o", "BENCH_PR6.json", "output `file` (\"-\" for stdout only)")
 	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
 	benchtime := fs.String("benchtime", "", "per-benchmark measuring time (e.g. 100ms); empty keeps the 1s default")
 	comparePath := fs.String("compare", "", "old baseline `file` to diff against; exits non-zero past -threshold")
@@ -107,6 +109,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}{
 		{"runtime/round-loop/disabled", roundLoopBench(false)},
 		{"runtime/round-loop/observed", roundLoopBench(true)},
+		{"runtime/sharded-loop/n64", shardedLoopBench},
+		{"runtime/sharded-mdbl2/n1e6", shardedMillionBench},
+		{"kernel/stream-feed/n1e6", streamFeedBench()},
 		{"kernel/incremental-solve/n364", kernelBench},
 		{"kernel/coalesced-solver/w40", solverBench()},
 		{"linalg/rref/int64-16x17", rrefBench(16, 17, 9, false)},
@@ -167,15 +172,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	}
 	if *comparePath != "" {
-		return compareBaselines(*comparePath, bl, *threshold, out)
+		return compareBaselines(*comparePath, bl, *threshold, *filter, out)
 	}
 	return nil
 }
 
 // compareBaselines prints per-benchmark deltas of the fresh results against
 // the committed baseline in oldPath and errors if any shared benchmark's
-// ns/op regressed by more than the threshold factor.
-func compareBaselines(oldPath string, fresh baseline, threshold float64, out io.Writer) error {
+// ns/op regressed by more than the threshold factor, or if a baseline
+// benchmark is missing from the fresh run entirely. A silently dropped
+// benchmark would otherwise read as a pass — the gate must notice removals,
+// not just slowdowns. Old entries excluded by -filter are reported as
+// skipped, not failed: a filtered smoke run only vouches for what it ran.
+func compareBaselines(oldPath string, fresh baseline, threshold float64, filter string, out io.Writer) error {
 	data, err := os.ReadFile(oldPath)
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
@@ -207,8 +216,19 @@ func compareBaselines(oldPath string, fresh baseline, threshold float64, out io.
 					n.Name, nsRatio, o.NsPerOp, n.NsPerOp, threshold))
 		}
 	}
+	leftover := make([]string, 0, len(oldBy))
 	for name := range oldBy {
-		fmt.Fprintf(out, "  %-34s  removed (present only in %s)\n", name, oldPath)
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		if filter != "" && !strings.Contains(name, filter) {
+			fmt.Fprintf(out, "  %-34s  skipped (excluded by -filter %q)\n", name, filter)
+			continue
+		}
+		fmt.Fprintf(out, "  %-34s  MISSING (in %s but not in this run)\n", name, oldPath)
+		failures = append(failures,
+			fmt.Sprintf("%s present in %s but missing from this run", name, oldPath))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("perf regression gate tripped:\n  %s", strings.Join(failures, "\n  "))
@@ -300,6 +320,115 @@ func roundLoopBench(observed bool) func(b *testing.B) {
 			cfg := &engine.Config{Net: net, Procs: procs, MaxRounds: benchRounds, Canon: floodCanon}
 			if _, err := engine.RunSequential(cfg); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// shardedLoopBench is the sharded twin of roundLoopBench: the same 64-node
+// flood on a static cycle, run through RunSharded at the default worker
+// count. Side by side with runtime/round-loop/disabled it prices the
+// sharded engine's per-round coordination on a workload too small to
+// amortize it.
+func shardedLoopBench(b *testing.B) {
+	prev := obs.Global()
+	defer obs.Set(prev)
+	obs.Set(nil)
+	g, err := graph.Cycle(benchNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := dynet.NewStatic(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procs := make([]engine.Process, benchNodes)
+		for j := range procs {
+			procs[j] = &floodProc{seen: j == 0}
+		}
+		cfg := &engine.Config{Net: net, Procs: procs, MaxRounds: benchRounds, Canon: floodCanon}
+		if _, err := engine.RunSharded(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardedMillionBench is the tentpole workload: a million-W ℳ(DBL)₂
+// instance transformed by ToPD2CSR into a million-node 𝒢(PD)₂ network and
+// flooded for four rounds on the sharded engine. Setup (the schedule, the
+// transform, the process backing array) happens once outside the timer;
+// each op resets process state in place and reruns the round loop, so
+// allocs/op divided by the round count is the engine's per-round garbage at
+// 10⁶ nodes.
+func shardedMillionBench(b *testing.B) {
+	const (
+		millionW      = 1_000_000
+		millionRounds = 4
+	)
+	prev := obs.Global()
+	defer obs.Set(prev)
+	obs.Set(nil)
+	mg, err := multigraph.Random(2, millionW, millionRounds, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, _, err := mg.ToPD2CSR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := net.N()
+	// One backing array, not 10⁶ individual process allocations.
+	backing := make([]floodProc, n)
+	procs := make([]engine.Process, n)
+	for j := range procs {
+		procs[j] = &backing[j]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range backing {
+			backing[j].seen = j == 0
+		}
+		cfg := &engine.Config{Net: net, Procs: procs, MaxRounds: millionRounds, Canon: floodCanon}
+		if _, err := engine.RunSharded(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// streamFeedBench isolates the observation-streaming feed path at scale: a
+// million-node schedule's per-round indexed observations, precomputed once,
+// replayed into a fresh incremental solver each op. The entry lists are
+// history-indexed (their length is bounded by the history count, not by
+// |W|), so this prices the solver's ingestion arithmetic under
+// million-node counts.
+func streamFeedBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		const w, horizon = 1_000_000, 6
+		mg, err := multigraph.Random(2, w, horizon, 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := mg.NewObservationStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := make([][]multigraph.IndexedObsEntry, horizon)
+		for r := 0; r < horizon; r++ {
+			entries, err := stream.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds[r] = append([]multigraph.IndexedObsEntry(nil), entries...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := kernel.NewIncrementalSolver()
+			for _, entries := range rounds {
+				if _, err := s.AddRoundIndexed(entries); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	}

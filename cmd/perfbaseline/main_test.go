@@ -44,6 +44,99 @@ func TestRunWritesBaselineJSON(t *testing.T) {
 	}
 }
 
+// mkBaseline builds a synthetic baseline with the given name -> ns/op map.
+func mkBaseline(ns map[string]float64) baseline {
+	bl := baseline{Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64"}
+	for name, v := range ns {
+		bl.Benchmarks = append(bl.Benchmarks, benchResult{Name: name, Iterations: 100, NsPerOp: v})
+	}
+	return bl
+}
+
+func writeBaseline(t *testing.T, bl baseline) string {
+	t.Helper()
+	data, err := json.Marshal(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	old := writeBaseline(t, mkBaseline(map[string]float64{"a/one": 100, "b/two": 200}))
+	fresh := mkBaseline(map[string]float64{"a/one": 100})
+	var sb strings.Builder
+	err := compareBaselines(old, fresh, 3.0, "", &sb)
+	if err == nil {
+		t.Fatalf("baseline benchmark b/two vanished but compare passed; output:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "b/two") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error does not name the missing benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Fatalf("output does not flag the missing benchmark:\n%s", sb.String())
+	}
+}
+
+func TestCompareSkipsFilteredOldEntries(t *testing.T) {
+	old := writeBaseline(t, mkBaseline(map[string]float64{"a/one": 100, "b/two": 200}))
+	fresh := mkBaseline(map[string]float64{"a/one": 100})
+	var sb strings.Builder
+	// A filtered smoke run only measured a/*: b/two's absence is expected.
+	if err := compareBaselines(old, fresh, 3.0, "a/", &sb); err != nil {
+		t.Fatalf("filtered compare failed on an excluded benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "skipped") {
+		t.Fatalf("output does not note the filtered skip:\n%s", sb.String())
+	}
+	// But a missing benchmark that DOES match the filter still fails.
+	fresh2 := mkBaseline(map[string]float64{"b/two": 200})
+	if err := compareBaselines(old, fresh2, 3.0, "a/", &sb); err == nil {
+		t.Fatal("missing filter-matched benchmark passed the gate")
+	}
+}
+
+func TestCompareRegressionThreshold(t *testing.T) {
+	old := writeBaseline(t, mkBaseline(map[string]float64{"a/one": 100}))
+	slow := mkBaseline(map[string]float64{"a/one": 260})
+	if err := compareBaselines(old, slow, 2.5, "", &strings.Builder{}); err == nil {
+		t.Fatal("2.6x slowdown passed a 2.5x threshold")
+	}
+	if err := compareBaselines(old, slow, 0, "", &strings.Builder{}); err != nil {
+		t.Fatalf("threshold 0 should disable the slowdown gate: %v", err)
+	}
+	if err := compareBaselines(old, mkBaseline(map[string]float64{"a/one": 110}), 2.5, "", &strings.Builder{}); err != nil {
+		t.Fatalf("parity run tripped the gate: %v", err)
+	}
+}
+
+func TestCompareTruncatedBaselineFile(t *testing.T) {
+	full, err := json.Marshal(mkBaseline(map[string]float64{"a/one": 100, "b/two": 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truncated.json")
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmpErr := compareBaselines(path, mkBaseline(map[string]float64{"a/one": 100}), 3.0, "", &strings.Builder{})
+	if cmpErr == nil {
+		t.Fatal("truncated baseline file accepted")
+	}
+	if !strings.Contains(cmpErr.Error(), "truncated.json") {
+		t.Fatalf("error does not name the bad file: %v", cmpErr)
+	}
+	// Through the CLI layer a compare failure must exit 2, the runtime
+	// error code the CI gate keys on.
+	if code := cli.ExitCode(cmpErr); code != cli.ExitRuntime {
+		t.Fatalf("compare failure maps to exit %d, want %d", code, cli.ExitRuntime)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-nope"},                    // unknown flag

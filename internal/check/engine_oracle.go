@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+
+	"anondyn/internal/runtime"
+)
+
+// traceProc is the order-sensitive protocol the engine-equivalence oracle
+// runs: every node starts with a distinct state (its index) and folds each
+// round's inbox into an FNV hash *in delivery order*, so two executions
+// agree on every trace entry iff they delivered identical message sequences
+// to every node in every round. Any divergence — a dropped message, a
+// permuted inbox, a skipped round — cascades into all later states.
+type traceProc struct {
+	state string
+	trace []string
+}
+
+func (p *traceProc) Send(int) runtime.Message { return p.state }
+
+func (p *traceProc) Receive(_ int, msgs []runtime.Message) {
+	h := fnv.New64a()
+	h.Write([]byte(p.state))
+	for _, m := range msgs {
+		h.Write([]byte{0})
+		h.Write([]byte(m.(string)))
+	}
+	p.state = strconv.FormatUint(h.Sum64(), 10)
+	p.trace = append(p.trace, p.state)
+}
+
+func newTraceProcs(n int) []runtime.Process {
+	procs := make([]runtime.Process, n)
+	for i := range procs {
+		procs[i] = &traceProc{state: strconv.Itoa(i)}
+	}
+	return procs
+}
+
+// traceCanon is the identity canonicalizer for traceProc's string messages:
+// delivery order is the lexicographic order of the states themselves.
+func traceCanon(m runtime.Message) string { return m.(string) }
+
+func reverseString(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// shardedEngineOracle is the differential check for the sharded worker-pool
+// engine: on the Lemma-1 transformation of a random schedule, RunSharded
+// over the CSR-native network must reproduce RunSequential's execution
+// trace-for-trace at every shard count — same round count, same per-node
+// state after every round. This exercises both halves of the scale path at
+// once: the sharded round loop (census merge, counting-sort placement,
+// per-shard delivery) and the PD2Net CSR snapshots it consumes.
+func shardedEngineOracle() *Oracle {
+	return &Oracle{
+		Name: "sharded-engine",
+		Doc:  "RunSharded on the CSR transform matches RunSequential trace-for-trace at every shard count",
+		Gen: func(rng *rand.Rand) (*Instance, error) {
+			return genSchedule(rng, 10, 4)
+		},
+		Check: func(inst *Instance, sys *System) error {
+			m := inst.M
+			seqNet, _, err := m.ToPD2()
+			if err != nil {
+				return err
+			}
+			csrNet, _, err := m.ToPD2CSR()
+			if err != nil {
+				return err
+			}
+			n := seqNet.N()
+			// One round past the horizon exercises the repeat-final-round
+			// clamp on both transforms.
+			rounds := m.Horizon() + 1
+			seqProcs := newTraceProcs(n)
+			seqRounds, err := sys.EngineSeq(&runtime.Config{
+				Net: seqNet, Procs: seqProcs, MaxRounds: rounds, Canon: traceCanon,
+			})
+			if err != nil {
+				return err
+			}
+			for _, shards := range []int{1, 2, 5} {
+				procs := newTraceProcs(n)
+				shRounds, err := sys.EngineSharded(&runtime.Config{
+					Net: csrNet, Procs: procs, MaxRounds: rounds, Canon: traceCanon, Shards: shards,
+				})
+				if err != nil {
+					return fmt.Errorf("sharded (%d shards): %w", shards, err)
+				}
+				if shRounds != seqRounds {
+					return fmt.Errorf("sharded (%d shards) ran %d rounds, sequential ran %d",
+						shards, shRounds, seqRounds)
+				}
+				for v := 0; v < n; v++ {
+					a, b := seqProcs[v].(*traceProc), procs[v].(*traceProc)
+					if len(a.trace) != len(b.trace) {
+						return fmt.Errorf("sharded (%d shards): node %d has %d trace entries, sequential %d",
+							shards, v, len(b.trace), len(a.trace))
+					}
+					for r := range a.trace {
+						if a.trace[r] != b.trace[r] {
+							return fmt.Errorf("sharded (%d shards): node %d diverges at round %d: %s vs sequential %s",
+								shards, v, r, b.trace[r], a.trace[r])
+						}
+					}
+				}
+			}
+			return nil
+		},
+		Mutants: []Mutant{
+			// A sharded engine that quietly runs one round short: every
+			// trace is a prefix of the sequential one, so only a check that
+			// compares round counts (not just common-prefix states) sees it.
+			{Name: "sharded-round-drop", Sys: func(sys *System) {
+				inner := sys.EngineSharded
+				sys.EngineSharded = func(cfg *runtime.Config) (int, error) {
+					c := *cfg
+					if c.MaxRounds > 0 {
+						c.MaxRounds--
+					}
+					return inner(&c)
+				}
+			}},
+			// A sharded engine that sorts deliveries by the *reversed*
+			// canonical key: inbox contents are identical, only their order
+			// differs — caught exactly because traceProc's fold is
+			// order-sensitive.
+			{Name: "sharded-order-flip", Sys: func(sys *System) {
+				inner := sys.EngineSharded
+				sys.EngineSharded = func(cfg *runtime.Config) (int, error) {
+					c := *cfg
+					orig := c.Canon
+					c.Canon = func(m runtime.Message) string { return reverseString(orig(m)) }
+					return inner(&c)
+				}
+			}},
+		},
+	}
+}

@@ -56,6 +56,7 @@ func Oracles() []*Oracle {
 		monotoneOracle(),
 		enumKOracle(),
 		linalgFastpathOracle(),
+		shardedEngineOracle(),
 	}
 }
 

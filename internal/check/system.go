@@ -51,6 +51,12 @@ type System struct {
 	MsgCount func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error)
 	// Transform is the Lemma-1 multigraph → 𝒢(PD)₂ transformation.
 	Transform func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error)
+	// EngineSeq is the reference sequential round engine
+	// (runtime.RunSequential), the semantics every other engine must match.
+	EngineSeq runtime.Engine
+	// EngineSharded is the sharded worker-pool round engine
+	// (runtime.RunSharded).
+	EngineSharded runtime.Engine
 	// RREFFast is the fraction-free int64 Bareiss RREF with big.Int
 	// fallback (the production path, linalg.(*Matrix).RREF).
 	RREFFast func(m *linalg.Matrix) ([][]*big.Rat, []int)
@@ -83,7 +89,9 @@ func Healthy() *System {
 		Transform: func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error) {
 			return m.ToPD2()
 		},
-		RREFFast: (*linalg.Matrix).RREF,
-		RREFRef:  (*linalg.Matrix).RREFReference,
+		EngineSeq:     runtime.RunSequential,
+		EngineSharded: runtime.RunSharded,
+		RREFFast:      (*linalg.Matrix).RREF,
+		RREFRef:       (*linalg.Matrix).RREFReference,
 	}
 }

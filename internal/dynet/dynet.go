@@ -25,6 +25,22 @@ type Dynamic interface {
 	Snapshot(r int) *graph.Graph
 }
 
+// CSRDynamic is an optional extension of Dynamic for implementations that
+// can serve their snapshots in flat CSR form without materializing the
+// map-based adjacency of graph.Graph. The sharded round engine probes for
+// it: at 10⁶ nodes the map representation is the memory and cache
+// bottleneck, not the protocol.
+//
+// SnapshotCSR must describe the same topology Snapshot(r) would return.
+// The returned CSR may reuse the backing arrays of the previous call
+// (snapshot-view ownership, see graph.CSR), so callers use it before
+// requesting another round and never across calls. Implementations must be
+// deterministic in r.
+type CSRDynamic interface {
+	Dynamic
+	SnapshotCSR(r int) *graph.CSR
+}
+
 // Static is a dynamic graph whose topology never changes: the degenerate
 // adversary. It is the baseline for "static network" comparisons.
 type Static struct {

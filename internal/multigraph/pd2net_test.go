@@ -1,0 +1,124 @@
+package multigraph
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+)
+
+var _ dynet.CSRDynamic = (*PD2Net)(nil)
+
+// sameTopology checks a CSR snapshot against a reference map graph edge for
+// edge.
+func sameTopology(t *testing.T, label string, c *graph.CSR, g *graph.Graph) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: invalid CSR: %v", label, err)
+	}
+	if c.N() != g.N() {
+		t.Fatalf("%s: CSR has %d nodes, graph %d", label, c.N(), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		id := graph.NodeID(v)
+		if c.Degree(id) != g.Degree(id) {
+			t.Fatalf("%s: node %d degree %d vs %d", label, v, c.Degree(id), g.Degree(id))
+		}
+		for _, u := range c.Neighbors(id) {
+			if !g.HasEdge(id, u) {
+				t.Fatalf("%s: CSR edge (%d,%d) absent from graph", label, v, u)
+			}
+		}
+	}
+}
+
+func TestPD2NetMatchesToPD2(t *testing.T) {
+	for _, tc := range []struct {
+		k, w, horizon int
+		seed          int64
+	}{
+		{1, 4, 3, 1},
+		{2, 7, 5, 2},
+		{3, 12, 4, 3},
+		{2, 1, 1, 4},
+	} {
+		m, err := Random(tc.k, tc.w, tc.horizon, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refLayout, err := m.ToPD2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, layout, err := m.ToPD2CSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.N() != ref.N() || layout.N() != refLayout.N() {
+			t.Fatalf("k=%d w=%d: N %d vs %d", tc.k, tc.w, net.N(), ref.N())
+		}
+		// Probe beyond the horizon too: both must repeat the final round.
+		for r := 0; r < tc.horizon+2; r++ {
+			g := ref.Snapshot(r)
+			sameTopology(t, "csr", net.SnapshotCSR(r), g)
+			// The map-graph accessor must agree as well.
+			mg := net.Snapshot(r)
+			for v := 0; v < g.N(); v++ {
+				id := graph.NodeID(v)
+				if mg.Degree(id) != g.Degree(id) {
+					t.Fatalf("Snapshot: node %d degree %d vs %d", v, mg.Degree(id), g.Degree(id))
+				}
+			}
+		}
+	}
+}
+
+func TestPD2NetZeroHorizon(t *testing.T) {
+	m := newOwned(2, 0, nil)
+	if _, _, err := m.ToPD2CSR(); err == nil {
+		t.Fatal("zero-horizon multigraph transformed")
+	}
+}
+
+func TestPD2NetSnapshotReuse(t *testing.T) {
+	m, err := Random(2, 32, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := m.ToPD2CSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same round twice returns the identical cached snapshot.
+	a := net.SnapshotCSR(3)
+	if b := net.SnapshotCSR(3); a != b {
+		t.Fatal("repeated SnapshotCSR of the same round rebuilt")
+	}
+	// Warm up every round, then a steady-state sweep must not allocate:
+	// this is the property that lets the sharded engine run a million-node
+	// round loop without per-round garbage from the topology side.
+	for r := 0; r < 6; r++ {
+		net.SnapshotCSR(r)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for r := 0; r < 6; r++ {
+			net.SnapshotCSR(r)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state SnapshotCSR allocates %.1f/sweep, want 0", allocs)
+	}
+}
+
+func TestSatAddIntSaturates(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	if got := satAddInt(maxInt-1, 1); got != maxInt {
+		t.Fatalf("satAddInt(maxInt-1, 1) = %d", got)
+	}
+	if got := satAddInt(maxInt, 1); got != maxInt {
+		t.Fatalf("satAddInt(maxInt, 1) = %d", got)
+	}
+	if got := satAddInt(3, 4); got != 7 {
+		t.Fatalf("satAddInt(3, 4) = %d", got)
+	}
+}

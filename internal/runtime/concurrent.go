@@ -55,13 +55,18 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 		outbox = make([]Message, n)
 		// Inboxes live in engine-owned scratch reused across rounds; the
 		// round barriers give the required happens-before edges (assemble
-		// precedes the deliver tokens, and every Receive completes before
+		// precedes the deliver sends, and every Receive completes before
 		// the coordinator's next assemble).
-		sc      = newRoundScratch(cfg, n)
-		inboxes [][]Message
+		sc = newRoundScratch(cfg, n)
 
-		start   = make([]chan roundWork, n)
-		deliver = make([]chan struct{}, n)
+		start = make([]chan roundWork, n)
+		// deliver carries each worker's inbox slice for the round: an
+		// explicit ownership handoff. Workers never read the coordinator's
+		// scratch through a shared variable — the slice a worker receives
+		// is exactly the one assembled for it, eliminating the aliasing
+		// window a stale shared-slice read would open if the scratch were
+		// ever regrown mid-phase.
+		deliver = make([]chan []Message, n)
 		quit    = make(chan struct{})
 		// phaseDone carries one token per worker per completed phase. The
 		// capacity covers a full phase, so workers never block on it even
@@ -73,7 +78,7 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 	)
 	for v := 0; v < n; v++ {
 		start[v] = make(chan roundWork, 1)
-		deliver[v] = make(chan struct{}, 1)
+		deliver[v] = make(chan []Message, 1)
 	}
 
 	worker := func(v int) {
@@ -96,15 +101,16 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 			}
 			outbox[v] = p.Send(work.round)
 			phaseDone <- struct{}{}
+			var msgs []Message
 			select {
-			case <-deliver[v]:
+			case msgs = <-deliver[v]:
 			case <-quit:
 				// The coordinator aborted between the phases: an invalid
 				// adaptive topology, cancellation, a deadline overrun, or a
 				// sibling's panic.
 				return
 			}
-			p.Receive(work.round, inboxes[v])
+			p.Receive(work.round, msgs)
 			phaseDone <- struct{}{}
 		}
 	}
@@ -214,12 +220,18 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 			}
 		}
 
-		inboxes = sc.assemble(g, outbox)
+		inboxes := sc.assemble(g, outbox)
 		if m.messages != nil {
 			m.messages.Add(delivered(inboxes))
 		}
 		for v := 0; v < n; v++ {
-			deliver[v] <- struct{}{}
+			msgs := inboxes[v]
+			if cfg.CopyInboxes {
+				// Caller-owned delivery: the worker's process may retain
+				// this slice indefinitely.
+				msgs = append([]Message(nil), msgs...)
+			}
+			deliver[v] <- msgs
 		}
 		if err := barrier(); err != nil {
 			return fail(err)

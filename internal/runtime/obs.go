@@ -19,6 +19,7 @@ type engineMetrics struct {
 	panics    *obs.Counter   // runs aborted by a process panic
 	cancels   *obs.Counter   // runs stopped by context cancellation
 	deadlines *obs.Counter   // runs aborted by Config.RoundDeadline
+	shards    *obs.Gauge     // worker count of the last sharded run
 }
 
 // metrics resolves the run's collector: Config.Obs when set, else the
@@ -39,6 +40,7 @@ func (c *Config) metrics() engineMetrics {
 		panics:    col.Counter(obs.RuntimePanics),
 		cancels:   col.Counter(obs.RuntimeCancels),
 		deadlines: col.Counter(obs.RuntimeDeadlines),
+		shards:    col.Gauge(obs.RuntimeShards),
 	}
 }
 

@@ -5,11 +5,14 @@
 // unlimited bandwidth, and a receive phase, in which it processes the
 // multiset of messages delivered by its neighbors.
 //
-// Two interchangeable engines are provided. The sequential engine runs all
-// processes in a deterministic loop. The concurrent engine runs one
-// goroutine per process, with channel-based barriers separating the phases —
-// goroutines map one-to-one onto the paper's processes. Tests cross-check
-// that both engines produce identical executions.
+// Three interchangeable engines are provided. The sequential engine runs
+// all processes in a deterministic loop and is the reference
+// implementation. The concurrent engine runs one goroutine per process,
+// with channel-based barriers separating the phases — goroutines map
+// one-to-one onto the paper's processes. The sharded engine partitions the
+// node range across a fixed worker pool and assembles deliveries into flat
+// engine-owned buffers, which is what scales to million-node networks.
+// Tests cross-check that all engines produce identical executions.
 //
 // Anonymity is enforced structurally: a process is given only the multiset
 // of messages it received, in an order canonicalized by the message
@@ -61,7 +64,9 @@ type Process interface {
 	// for the next round, so it is valid only for the duration of the
 	// call. A process that retains messages across rounds must copy the
 	// slice (the Message values themselves are never mutated by the
-	// engine and may be retained).
+	// engine and may be retained), or the run must set Config.CopyInboxes
+	// to restore caller-owned delivery at one allocation per node per
+	// round.
 	Receive(r int, msgs []Message)
 }
 
@@ -118,6 +123,19 @@ type Config struct {
 	// that cannot complete is an execution fault, not a slow message.
 	// Zero means no per-round deadline.
 	RoundDeadline time.Duration
+	// Shards is the worker count of the sharded engine (RunSharded): the
+	// node range is split into Shards contiguous partitions, each iterated
+	// by one persistent worker goroutine. Zero means GOMAXPROCS. The other
+	// engines ignore it. Executions are identical for every shard count.
+	Shards int
+	// CopyInboxes, if true, makes every engine hand Receive a freshly
+	// allocated inbox slice the process may retain indefinitely — the
+	// pre-reuse delivery semantics, at one allocation per node per round.
+	// The default (false) keeps the zero-alloc buffer-reuse path, under
+	// which inbox slices are valid only for the duration of the Receive
+	// call (see the Process.Receive ownership rule). Set it for processes
+	// that retain their inbox slices across rounds.
+	CopyInboxes bool
 	// Stop, if non-nil, is evaluated after each round's receive phase;
 	// returning true ends the run after that round.
 	Stop func(completedRound int) bool
@@ -169,6 +187,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("runtime: negative MaxRounds %d", c.MaxRounds)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("runtime: negative Shards %d", c.Shards)
 	}
 	return nil
 }

@@ -87,7 +87,12 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 			m.messages.Add(delivered(inboxes))
 		}
 		for v := 0; v < n; v++ {
-			if err := guardReceive(cfg.Procs[v], v, r, inboxes[v]); err != nil {
+			msgs := inboxes[v]
+			if cfg.CopyInboxes {
+				// Caller-owned delivery: the process may retain this slice.
+				msgs = append([]Message(nil), msgs...)
+			}
+			if err := guardReceive(cfg.Procs[v], v, r, msgs); err != nil {
 				m.panics.Inc()
 				return r, err
 			}
