@@ -1,9 +1,16 @@
 // Command anondyn runs counting algorithms against dynamic-network
 // adversaries and reports the count and the rounds used.
 //
+// The -algo flag selects an entry of the counting-algorithm zoo
+// (counting.Registry); -adversary selects the network family, defaulting to
+// a family compatible with the chosen algorithm. Incompatible combinations
+// are rejected up front with the model assumption that failed.
+//
 // Usage:
 //
-//	anondyn -algo leaderstate -n 40            # exact counter vs worst case
+//	anondyn -algo histtree -n 100              # history-tree counter, cycle
+//	anondyn -algo histtree -adversary churn    # same, fair random churn
+//	anondyn -algo leaderstate -n 40            # the paper's counter vs worst case
 //	anondyn -algo oracle -n 40                 # degree-oracle O(1) counter
 //	anondyn -algo star -n 40                   # one-round star counter
 //	anondyn -algo pushsum -n 40 -seed 7        # gossip estimate, fair churn
@@ -31,24 +38,56 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"anondyn/internal/chainnet"
 	"anondyn/internal/cli"
 	"anondyn/internal/core"
 	"anondyn/internal/counting"
-	"anondyn/internal/dynet"
-	"anondyn/internal/graph"
-	"anondyn/internal/runtime"
 )
 
 func main() {
 	cli.Main("anondyn", run)
 }
 
+// legacyAlgos are the subcommands predating the registry: experiments over
+// the abstract multigraph model rather than engine-backed protocols.
+var legacyAlgos = []string{"chain", "anonymous", "unconscious"}
+
+// defaultAdversary picks the network family each registry algorithm is
+// demonstrated on when -adversary is not given. incremental defaults to
+// worstcase, not cycle: its drain length τ(k) = 3(k+1)² is calibrated for
+// fast-mixing families, and on a cycle the accepting guess grows roughly
+// quadratically in n (measured: n=12→k=27, n=16→54, n=20→92, n=24→141),
+// so cycles outgrow the IncrementalRounds(3n) budget from n≈16 on.
+var defaultAdversary = map[string]string{
+	"histtree":    "cycle",
+	"idcount":     "cycle",
+	"incremental": "worstcase",
+	"leaderstate": "worstcase",
+	"upperbound":  "restricted",
+	"oracle":      "restricted",
+	"star":        "star",
+	"pushsum":     "churn",
+}
+
+var adversaryNames = []string{"worstcase", "cycle", "star", "churn", "restricted", "flooddelay"}
+
+func algoUsage() string {
+	var b strings.Builder
+	b.WriteString("counting algorithm; registry entries:\n")
+	for _, a := range counting.Registry() {
+		fmt.Fprintf(&b, "    \t%-12s %s — %s\n", a.Name, a.Semantics, a.Doc)
+	}
+	fmt.Fprintf(&b, "    \tlegacy: %s", strings.Join(legacyAlgos, " | "))
+	return b.String()
+}
+
 func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("anondyn", flag.ContinueOnError)
-	algo := fs.String("algo", "", "counting algorithm: leaderstate | oracle | star | pushsum | chain | upperbound")
-	n := fs.Int("n", 13, "number of counted nodes (|W| for PD2 algorithms, |V| for star)")
+	algo := fs.String("algo", "", algoUsage())
+	adversary := fs.String("adversary", "", "network family: "+strings.Join(adversaryNames, " | ")+" (default: per-algorithm)")
+	n := fs.Int("n", 13, "problem size: |W| for worstcase, outer nodes for restricted, non-leader nodes for star/churn, total nodes otherwise")
 	chainLen := fs.Int("chain", 3, "static chain length for -algo chain")
 	seed := fs.Int64("seed", 1, "seed for randomized adversaries")
 	bound := fs.Bool("bound", false, "print the exact Theorem 1 bound for -n and exit")
@@ -72,15 +111,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if *concurrent && *engineName == "" {
 		*engineName = "concurrent"
 	}
-	var engine runtime.Engine
-	switch *engineName {
-	case "", "sequential":
-		engine = runtime.SequentialEngine(ctx)
-	case "concurrent":
-		engine = runtime.ConcurrentEngine(ctx)
-	case "sharded":
-		engine = runtime.ShardedEngine(ctx)
-	default:
+	engine, err := counting.EngineByName(ctx, *engineName)
+	if err != nil {
 		return cli.Usagef("unknown engine %q (want sequential, concurrent, or sharded)", *engineName)
 	}
 	switch {
@@ -90,27 +122,73 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		return printPair(out, *n)
 	}
 	switch *algo {
-	case "leaderstate":
-		return runLeaderState(out, *n)
-	case "oracle":
-		return runOracle(out, *n, engine)
-	case "star":
-		return runStar(out, *n, engine)
-	case "pushsum":
-		return runPushSum(out, *n, *seed, engine)
 	case "chain":
 		return runChain(out, *n, *chainLen, engine)
-	case "upperbound":
-		return runUpperBound(out, *n, engine)
 	case "anonymous":
 		return runAnonymous(out, *n)
 	case "unconscious":
 		return runUnconscious(out, *n)
 	case "":
 		return cli.Usagef("one of -algo, -bound, -pair is required")
-	default:
-		return cli.Usagef("unknown algorithm %q", *algo)
 	}
+	entry, err := counting.Lookup(*algo)
+	if err != nil {
+		return cli.Usagef("unknown algorithm %q (registry: %s; legacy: %s)",
+			*algo, strings.Join(counting.Names(), " "), strings.Join(legacyAlgos, " "))
+	}
+	return runRegistry(out, entry, *adversary, *n, *seed, engine)
+}
+
+// buildInstance constructs the named adversary family at problem size n.
+func buildInstance(adversary string, n int, seed int64) (*counting.Instance, error) {
+	switch adversary {
+	case "worstcase":
+		return counting.WorstCaseInstance(n)
+	case "cycle":
+		return counting.CycleInstance(n)
+	case "star":
+		return counting.StarInstance(n + 1)
+	case "churn":
+		return counting.ChurnInstance(n+1, seed)
+	case "restricted":
+		return counting.RestrictedPD2Instance(n)
+	case "flooddelay":
+		return counting.FloodDelayInstance(n)
+	default:
+		return nil, cli.Usagef("unknown adversary %q (want %s)", adversary, strings.Join(adversaryNames, " | "))
+	}
+}
+
+// runRegistry executes one registry algorithm on the chosen (or default)
+// adversary, rejecting incompatible combinations before the run with the
+// model assumption that failed.
+func runRegistry(out io.Writer, entry *counting.Algorithm, adversary string, n int, seed int64, engine counting.Runner) error {
+	if adversary == "" {
+		adversary = defaultAdversary[entry.Name]
+	}
+	inst, err := buildInstance(adversary, n, seed)
+	if err != nil {
+		return err
+	}
+	if err := entry.Requires.Validate(inst); err != nil {
+		return cli.Usagef("%v; the default family for -algo %s is -adversary %s",
+			err, entry.Name, defaultAdversary[entry.Name])
+	}
+	res, err := entry.Run(inst, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "algorithm %s (%s) on %s:\n", entry.Name, entry.Semantics, inst.Name)
+	fmt.Fprintf(out, "  %s\n", entry.Doc)
+	switch entry.Semantics {
+	case counting.SemExact:
+		fmt.Fprintf(out, "  counted %d nodes in %d round(s) (true size %d)\n", res.Count, res.Rounds, inst.TrueN)
+	case counting.SemUpperBound:
+		fmt.Fprintf(out, "  bound %d in %d round(s) (true size %d)\n", res.Count, res.Rounds, inst.TrueN)
+	case counting.SemEstimate:
+		fmt.Fprintf(out, "  estimate %d after %d round(s) (true size %d)\n", res.Count, res.Rounds, inst.TrueN)
+	}
+	return nil
 }
 
 func printBound(out io.Writer, n int) error {
@@ -148,43 +226,6 @@ func printPair(out io.Writer, n int) error {
 	return nil
 }
 
-func runLeaderState(out io.Writer, n int) error {
-	res, err := core.WorstCaseCountRounds(n)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "leader-state counter vs worst-case adversary:\n")
-	fmt.Fprintf(out, "  counted %d nodes in %d rounds (exact bound: %d)\n",
-		res.Count, res.Rounds, core.LowerBoundRounds(n))
-	return nil
-}
-
-func runOracle(out io.Writer, n int, engine counting.Runner) error {
-	net, v1, v2 := restrictedNet(n)
-	count, rounds, err := counting.OracleCount(net, 0, v1, v2, engine)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "degree-oracle counter on restricted G(PD)_2:\n")
-	fmt.Fprintf(out, "  counted %d nodes in %d rounds (anonymous bound would be %d)\n",
-		count, rounds, core.LowerBoundRounds(n))
-	return nil
-}
-
-func runStar(out io.Writer, n int, engine counting.Runner) error {
-	star, err := graph.Star(n+1, 0)
-	if err != nil {
-		return err
-	}
-	count, rounds, err := counting.StarCount(dynet.NewStatic(star), 0, engine)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "star counter on G(PD)_1:\n")
-	fmt.Fprintf(out, "  counted %d nodes in %d round(s)\n", count, rounds)
-	return nil
-}
-
 func runChain(out io.Writer, n, chainLen int, engine counting.Runner) error {
 	nw, err := chainnet.Build(n, chainLen)
 	if err != nil {
@@ -199,54 +240,6 @@ func runChain(out io.Writer, n, chainLen int, engine counting.Runner) error {
 	fmt.Fprintf(out, "  counted %d nodes in %d rounds = delay %d + bound %d\n",
 		res.Count, res.Rounds, nw.Delay(), bound)
 	return nil
-}
-
-func runUpperBound(out io.Writer, n int, engine counting.Runner) error {
-	const k = 2
-	net, _, v2 := restrictedNet(n)
-	maxDeg := 0
-	for r := 0; r < 8; r++ {
-		g := net.Snapshot(r)
-		for v := 0; v < net.N(); v++ {
-			if d := g.Degree(graph.NodeID(v)); d > maxDeg {
-				maxDeg = d
-			}
-		}
-	}
-	res, err := counting.UpperBoundCount(net, 0, maxDeg, 8, engine)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "degree-bound upper-bound counter [15] on restricted G(PD)_%d:\n", k)
-	fmt.Fprintf(out, "  bound %d for true size %d (depth %d, degree bound %d)\n",
-		res.Bound, 1+k+len(v2), res.Depth, maxDeg)
-	return nil
-}
-
-// restrictedNet builds the rotating restricted G(PD)_2 network used by the
-// oracle and upper-bound subcommands.
-func restrictedNet(outer int) (dynet.Dynamic, []graph.NodeID, []graph.NodeID) {
-	const k = 2
-	total := 1 + k + outer
-	v1 := []graph.NodeID{1, 2}
-	v2 := make([]graph.NodeID, outer)
-	for i := range v2 {
-		v2[i] = graph.NodeID(1 + k + i)
-	}
-	net := dynet.NewFunc(total, func(r int) *graph.Graph {
-		g := graph.New(total)
-		for _, rel := range v1 {
-			_ = g.AddEdge(0, rel)
-		}
-		for i, w := range v2 {
-			_ = g.AddEdge(v1[(i+r)%k], w)
-			if i%2 == 1 {
-				_ = g.AddEdge(v1[(i+r+1)%k], w)
-			}
-		}
-		return g
-	})
-	return net, v1, v2
 }
 
 func runAnonymous(out io.Writer, n int) error {
@@ -290,20 +283,5 @@ func runUnconscious(out io.Writer, n int) error {
 	fmt.Fprintf(out, "  min-guess stable on truth : round %d\n", minRes.CorrectFrom)
 	fmt.Fprintf(out, "  max-guess stable on truth : round %d (fooled by the size-%d twin)\n",
 		maxRes.CorrectFrom, n+1)
-	return nil
-}
-
-func runPushSum(out io.Writer, n int, seed int64, engine counting.Runner) error {
-	net, err := dynet.NewRandomChurn(n+1, 0.3, seed)
-	if err != nil {
-		return err
-	}
-	res, err := counting.PushSumEstimate(net, 0, 1e-6, 3, 5000, engine)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "push-sum estimator under fair churn (seed %d):\n", seed)
-	fmt.Fprintf(out, "  estimate %.4f for true size %d, %d rounds, converged=%v\n",
-		res.Estimate, n+1, res.Rounds, res.Converged)
 	return nil
 }

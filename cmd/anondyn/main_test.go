@@ -55,11 +55,13 @@ func TestPairCommand(t *testing.T) {
 }
 
 func TestLeaderStateCommand(t *testing.T) {
+	// The registry normalizes every count to total network size |V|: for
+	// the worst-case family with |W| = 13 that is 1 + 2 + 13 = 16.
 	out, err := capture(t, []string{"-algo", "leaderstate", "-n", "13"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "counted 13 nodes in 4 rounds (exact bound: 4)") {
+	if !strings.Contains(out, "counted 16 nodes") || !strings.Contains(out, "true size 16") {
 		t.Fatalf("output:\n%s", out)
 	}
 }
@@ -69,7 +71,7 @@ func TestOracleCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "counted 23 nodes in 2 rounds") {
+	if !strings.Contains(out, "counted 23 nodes in 2 round(s)") {
 		t.Fatalf("output:\n%s", out)
 	}
 }
@@ -89,8 +91,76 @@ func TestPushSumCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "true size 10") || !strings.Contains(out, "converged=true") {
+	if !strings.Contains(out, "estimate 10") || !strings.Contains(out, "true size 10") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestHistTreeCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "histtree", "-n", "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 40 nodes") || !strings.Contains(out, "cycle-40") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestIncrementalCommand(t *testing.T) {
+	// The default family is worstcase (see defaultAdversary): -n 5 is the
+	// |W|=5 Lemma-5 schedule, so the true size is |V| = 5 + 3.
+	out, err := capture(t, []string{"-algo", "incremental", "-n", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 8 nodes") || !strings.Contains(out, "worstcase-5") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// The slow-mixing caveat documented on defaultAdversary: an explicit
+	// small cycle still works.
+	out, err = capture(t, []string{"-algo", "incremental", "-adversary", "cycle", "-n", "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 6 nodes") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestAdversaryFlag(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "histtree", "-n", "11", "-adversary", "flooddelay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 11 nodes") || !strings.Contains(out, "flood-delay-11") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// Incompatible algorithm/adversary combinations must be rejected as usage
+// errors naming the missing model assumption and the compatible default.
+func TestAdversaryMismatchRejected(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-algo", "oracle", "-adversary", "cycle", "-n", "6"}, "restricted"},
+		{[]string{"-algo", "leaderstate", "-adversary", "cycle", "-n", "6"}, "multigraph schedule"},
+		{[]string{"-algo", "pushsum", "-adversary", "cycle", "-n", "6"}, "fair"},
+		{[]string{"-algo", "star", "-adversary", "cycle", "-n", "6"}, "adjacent"},
+		{[]string{"-algo", "histtree", "-adversary", "warp", "-n", "6"}, "unknown adversary"},
+	}
+	for _, tc := range cases {
+		_, err := capture(t, tc.args)
+		if err == nil {
+			t.Fatalf("args %v accepted, want rejection", tc.args)
+		}
+		if got := cli.ExitCode(err); got != cli.ExitUsage {
+			t.Fatalf("args %v: exit code %d, want %d (usage); err: %v", tc.args, got, cli.ExitUsage, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+		}
 	}
 }
 

@@ -4,15 +4,17 @@
 // incremental kernel solve on a worst-case schedule, the coalesced solver's
 // indexed ingestion path (including the million-node stream feed), the
 // linalg RREF fast path on both sides of the int64→big.Int fallback
-// boundary, a full smoke sweep campaign, and the raw obs handle operations
-// — and writes the results as JSON (BENCH_PR6.json). The committed
+// boundary, the history-tree counter's view-merge hot path (both the raw
+// bitset MergeCollect and a full Count run on a cycle), a full smoke sweep
+// campaign, and the raw obs handle operations
+// — and writes the results as JSON (BENCH_PR7.json). The committed
 // snapshot is the reference
 // point for spotting regressions in the hot paths; the disabled/enabled
 // benchmark pairs quantify the instrumentation overhead itself.
 //
 // Usage:
 //
-//	perfbaseline [-o BENCH_PR6.json] [-filter substring] [-benchtime 1s]
+//	perfbaseline [-o BENCH_PR7.json] [-filter substring] [-benchtime 1s]
 //	             [-compare old.json] [-threshold 3.0]
 //
 // With -compare, per-benchmark deltas against the old baseline are printed
@@ -45,6 +47,7 @@ import (
 	"anondyn/internal/core"
 	"anondyn/internal/dynet"
 	"anondyn/internal/graph"
+	"anondyn/internal/histtree"
 	"anondyn/internal/kernel"
 	"anondyn/internal/linalg"
 	"anondyn/internal/multigraph"
@@ -80,7 +83,7 @@ type baseline struct {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("perfbaseline", flag.ContinueOnError)
-	outPath := fs.String("o", "BENCH_PR6.json", "output `file` (\"-\" for stdout only)")
+	outPath := fs.String("o", "BENCH_PR7.json", "output `file` (\"-\" for stdout only)")
 	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
 	benchtime := fs.String("benchtime", "", "per-benchmark measuring time (e.g. 100ms); empty keeps the 1s default")
 	comparePath := fs.String("compare", "", "old baseline `file` to diff against; exits non-zero past -threshold")
@@ -113,6 +116,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		{"runtime/sharded-mdbl2/n1e6", shardedMillionBench},
 		{"kernel/stream-feed/n1e6", streamFeedBench()},
 		{"kernel/incremental-solve/n364", kernelBench},
+		{"histtree/view-merge/64wx8", histMergeBench()},
+		{"histtree/count/cycle-n64", histCountBench},
 		{"kernel/coalesced-solver/w40", solverBench()},
 		{"linalg/rref/int64-16x17", rrefBench(16, 17, 9, false)},
 		{"linalg/rref/spill-16x17", rrefBench(16, 17, 1<<32, false)},
@@ -430,6 +435,61 @@ func streamFeedBench() func(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+}
+
+// histMergeBench isolates the history-tree counter's per-round hot path:
+// MergeCollect, the word-wise bitset OR that folds a received view into the
+// leader's while collecting every newly visible class id. Eight snapshots of
+// ~12.5% density over 4096 class ids (64 words) are precomputed; each op
+// folds all eight into a fresh view, so the number includes the collect
+// loop's bit-extraction, not just the OR.
+func histMergeBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		const words, snaps = 64, 8
+		rng := rand.New(rand.NewSource(7))
+		snapshots := make([][]uint64, snaps)
+		for i := range snapshots {
+			s := make([]uint64, words)
+			for j := range s {
+				s[j] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+			}
+			snapshots[i] = s
+		}
+		out := make([]int32, 0, words*64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var v histtree.View
+			out = out[:0]
+			for _, s := range snapshots {
+				out = v.MergeCollect(s, out)
+			}
+		}
+	}
+}
+
+// histCountBench runs the full history-tree counting protocol on a static
+// 64-node cycle: interning (Extend), view snapshots, merges, and the
+// leader's stable-pair solve, end to end, on the sequential engine. The
+// cycle is the family the O(n) slope is pinned on, so this is the
+// protocol's representative whole-run cost at bench scale.
+func histCountBench(b *testing.B) {
+	g, err := graph.Cycle(benchNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := dynet.NewStatic(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count, _, err := histtree.Count(net, 0, 3*benchNodes+10, engine.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if count != benchNodes {
+			b.Fatalf("count = %d, want %d", count, benchNodes)
 		}
 	}
 }

@@ -42,7 +42,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	specArg := fs.String("spec", "", "campaign spec: a built-in name (figures, smoke) or a JSON file path")
+	specArg := fs.String("spec", "", "campaign spec: a built-in name (figures, smoke), a built-in set (zoo, zoo-smoke), or a JSON file path")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 	out_ := fs.String("out", "sweep.jsonl", "journal path (JSONL, one completed job per line)")
 	resume := fs.Bool("resume", false, "resume from the journal instead of truncating it")
@@ -55,7 +55,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		return cli.WrapUsage(err)
 	}
 	if *specArg == "" {
-		return cli.Usagef("missing -spec (built-in campaigns: figures, smoke)")
+		return cli.Usagef("missing -spec (built-in campaigns: figures, smoke; sets: zoo, zoo-smoke)")
 	}
 	if *workers < 1 {
 		return cli.Usagef("need -workers >= 1, got %d", *workers)
@@ -66,9 +66,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if *maxJobs < 0 {
 		return cli.Usagef("need -maxjobs >= 0 (0 = no limit), got %d", *maxJobs)
 	}
-	spec, err := sweep.LoadSpec(*specArg)
-	if err != nil {
-		return cli.WrapUsage(err)
+	specs, ok := sweep.BuiltinSet(*specArg)
+	if !ok {
+		spec, err := sweep.LoadSpec(*specArg)
+		if err != nil {
+			return cli.WrapUsage(err)
+		}
+		specs = []sweep.Spec{spec}
 	}
 	if err := obsCfg.Start(); err != nil {
 		return err
@@ -77,27 +81,35 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 
-	rep, err := sweep.RunCampaign(ctx, spec, sweep.CampaignOptions{
-		Workers:     *workers,
-		MaxRetries:  *retries,
-		MaxJobs:     *maxJobs,
-		JournalPath: *out_,
-		Resume:      *resume,
-	})
-	if rep != nil {
-		fmt.Fprintf(os.Stderr, "sweep: campaign %s: %d jobs executed, %d resumed from %s\n",
-			spec.Name, rep.Executed, rep.Resumed, *out_)
-	}
-	if err != nil {
+	// A set's campaigns share one journal: job keys embed the protocol, so
+	// the rows never collide, and campaigns after the first always open in
+	// resume mode to append rather than truncate.
+	var all []sweep.Result
+	for i, spec := range specs {
+		rep, err := sweep.RunCampaign(ctx, spec, sweep.CampaignOptions{
+			Workers:     *workers,
+			MaxRetries:  *retries,
+			MaxJobs:     *maxJobs,
+			JournalPath: *out_,
+			Resume:      *resume || i > 0,
+		})
 		if rep != nil {
-			fmt.Fprintf(os.Stderr, "sweep: interrupted; completed jobs are journaled — rerun with -resume to finish\n")
+			fmt.Fprintf(os.Stderr, "sweep: campaign %s: %d jobs executed, %d resumed from %s\n",
+				spec.Name, rep.Executed, rep.Resumed, *out_)
 		}
-		return err
+		if err != nil {
+			if rep != nil {
+				fmt.Fprintf(os.Stderr, "sweep: interrupted; completed jobs are journaled — rerun with -resume to finish\n")
+			}
+			return err
+		}
+		all = append(all, rep.Results...)
 	}
+	stats := sweep.Aggregate(all)
 	if *csv {
-		_, err = io.WriteString(out, sweep.FormatCSV(rep.Stats))
+		_, err = io.WriteString(out, sweep.FormatCSV(stats))
 	} else {
-		_, err = io.WriteString(out, sweep.FormatTable(rep.Stats))
+		_, err = io.WriteString(out, sweep.FormatTable(stats))
 	}
 	return err
 }

@@ -33,6 +33,29 @@ func TestRunSmokeCampaign(t *testing.T) {
 	}
 }
 
+// A built-in set runs every member campaign into one shared journal and
+// prints one combined table.
+func TestRunZooSmokeSet(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "zoo.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-spec", "zoo-smoke", "-workers", "2", "-out", journal}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, proto := range []string{"zoo-histtree", "zoo-idcount", "zoo-incremental", "zoo-leaderstate", "zoo-upperbound"} {
+		if !strings.Contains(out, proto) {
+			t.Fatalf("combined table missing %s:\n%s", proto, out)
+		}
+	}
+	done, err := sweep.ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 10 { // 5 campaigns × 2 sizes × 1 trial
+		t.Fatalf("shared journal holds %d rows, want 10", len(done))
+	}
+}
+
 // The CLI resume drill: interrupt with -maxjobs (exit code 2), resume, and
 // require stdout byte-identical to an uninterrupted campaign.
 func TestRunForcedResumeByteIdentical(t *testing.T) {

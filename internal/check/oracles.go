@@ -57,6 +57,7 @@ func Oracles() []*Oracle {
 		enumKOracle(),
 		linalgFastpathOracle(),
 		shardedEngineOracle(),
+		histTreeCountOracle(),
 	}
 }
 
@@ -921,6 +922,67 @@ func linalgFastpathOracle() *Oracle {
 						pivots = pivots[:len(pivots)-1]
 					}
 					return entries, pivots
+				}
+			}},
+		},
+	}
+}
+
+// histTreeCountOracle runs the history-tree counter on the Lemma-1
+// transformation of a random ℳ(DBL)₂ schedule and requires the exact total
+// size |V| = 1 + k + |W| within the 3n+8 linear round bound — the
+// cross-check between the anonymity-from-first-principles algorithm
+// (arXiv:2204.02128) and the repository's model layers: the transformation
+// supplies the adversary, the schedule supplies the ground truth, and
+// neither the counter nor the check ever reads node identities.
+func histTreeCountOracle() *Oracle {
+	return &Oracle{
+		Name: "histtree-count",
+		Doc:  "history-tree counter is exact and linear-round on transformed random schedules",
+		Gen: func(rng *rand.Rand) (*Instance, error) {
+			return genSchedule(rng, 10, 4)
+		},
+		Check: func(inst *Instance, sys *System) error {
+			m := inst.M
+			net, layout, err := sys.Transform(m)
+			if err != nil {
+				return err
+			}
+			total := 1 + m.K() + m.W()
+			if got := layout.N(); got != total {
+				return fmt.Errorf("layout has %d nodes, want %d", got, total)
+			}
+			budget := 3*total + 10
+			count, rounds, err := sys.HistCount(net, layout.Leader, budget)
+			if err != nil {
+				return err
+			}
+			if count != total {
+				return fmt.Errorf("history-tree counted %d on a |V|=%d transformed schedule", count, total)
+			}
+			if rounds < 1 || rounds > 3*total+8 {
+				return fmt.Errorf("history-tree used %d rounds on |V|=%d, outside [1, 3n+8] = [1, %d]",
+					rounds, total, 3*total+8)
+			}
+			return nil
+		},
+		Mutants: []Mutant{
+			// An off-by-one in the cardinality solve: every count is one
+			// too high.
+			{Name: "hist-overcount", Sys: func(sys *System) {
+				inner := sys.HistCount
+				sys.HistCount = func(net dynet.Dynamic, leader graph.NodeID, maxRounds int) (int, int, error) {
+					c, r, err := inner(net, leader, maxRounds)
+					return c + 1, r, err
+				}
+			}},
+			// A broken acceptance rule: termination slips past the linear
+			// bound (the counter burns its whole budget before deciding).
+			{Name: "hist-round-blowup", Sys: func(sys *System) {
+				inner := sys.HistCount
+				sys.HistCount = func(net dynet.Dynamic, leader graph.NodeID, maxRounds int) (int, int, error) {
+					c, _, err := inner(net, leader, maxRounds)
+					return c, maxRounds, err
 				}
 			}},
 		},

@@ -7,6 +7,8 @@ import (
 	"anondyn/internal/chainnet"
 	"anondyn/internal/core"
 	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/histtree"
 	"anondyn/internal/kernel"
 	"anondyn/internal/linalg"
 	"anondyn/internal/multigraph"
@@ -49,6 +51,9 @@ type System struct {
 	// MsgCount runs the message-level chain protocol to termination
 	// (chainnet.RunCount on the sequential engine).
 	MsgCount func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error)
+	// HistCount runs the history-tree counter to termination
+	// (histtree.Count on the sequential engine).
+	HistCount func(net dynet.Dynamic, leader graph.NodeID, maxRounds int) (count, rounds int, err error)
 	// Transform is the Lemma-1 multigraph → 𝒢(PD)₂ transformation.
 	Transform func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error)
 	// EngineSeq is the reference sequential round engine
@@ -85,6 +90,9 @@ func Healthy() *System {
 		ChainRounds:  core.ChainCountRounds,
 		MsgCount: func(nw *chainnet.Network, maxRounds int) (chainnet.CountResult, error) {
 			return chainnet.RunCount(nw, maxRounds, runtime.SequentialEngine(context.Background()))
+		},
+		HistCount: func(net dynet.Dynamic, leader graph.NodeID, maxRounds int) (int, int, error) {
+			return histtree.Count(net, leader, maxRounds, runtime.SequentialEngine(context.Background()))
 		},
 		Transform: func(m *multigraph.Multigraph) (dynet.Dynamic, *multigraph.PD2Layout, error) {
 			return m.ToPD2()

@@ -44,6 +44,8 @@ func canon(m runtime.Message) string {
 		return fmt.Sprintf("p:%g,%g", v[0], v[1])
 	case distMsg:
 		return fmt.Sprintf("d:%d,%d", v.Dist, v.MaxSeen)
+	case incMsg:
+		return fmt.Sprintf("n:%g,%d", v.Share, v.AlarmK)
 	default:
 		return runtime.DefaultCanon(m)
 	}

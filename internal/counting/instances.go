@@ -1,0 +1,179 @@
+package counting
+
+import (
+	"fmt"
+
+	"anondyn/internal/core"
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+)
+
+// Builders for the standard adversary families the registry is exercised
+// on. Every builder returns an Instance carrying the ground truth in TrueN
+// and a Horizon generous enough for the exact linear-round algorithms
+// (histtree needs at most 3n+8 rounds, idcount at most n, leaderstate at
+// most ~2n; the incremental adapter extends its own polynomial budget).
+
+func linearHorizon(n int) int { return 3*n + 10 }
+
+// WorstCaseInstance builds the paper's worst-case ℳ(DBL)₂ adversary for
+// |W| = w outer nodes, transformed to its restricted 𝒢(PD)₂ network via
+// Lemma 1 and extended past the indistinguishability horizon so counting
+// can finish. It carries both the network and the multigraph schedule, so
+// every exact algorithm in the registry can run on it — the comparable
+// family the zoo campaign sweeps.
+func WorstCaseInstance(w int) (*Instance, error) {
+	p, err := core.WorstCasePair(w)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := p.Extend(p.Rounds + 2)
+	if err != nil {
+		return nil, err
+	}
+	m := ext.M
+	net, layout, err := m.ToPD2()
+	if err != nil {
+		return nil, err
+	}
+	total := layout.N()
+	inst := &Instance{
+		Name:    fmt.Sprintf("worstcase-%d", w),
+		Net:     net,
+		Leader:  layout.Leader,
+		V1:      layout.V1,
+		V2:      layout.V2,
+		M:       m,
+		Horizon: linearHorizon(total),
+		TrueN:   total,
+	}
+	inst.MaxDegree = observedMaxDegree(net, 8)
+	return inst, nil
+}
+
+// CycleInstance is a static n-cycle — the symmetric family used for the
+// histtree linear-slope measurements.
+func CycleInstance(n int) (*Instance, error) {
+	g, err := graph.Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:      fmt.Sprintf("cycle-%d", n),
+		Net:       dynet.NewStatic(g),
+		Leader:    0,
+		MaxDegree: 2,
+		Horizon:   linearHorizon(n),
+		TrueN:     n,
+	}, nil
+}
+
+// StarInstance is a static star with the leader at the hub — the 𝒢(PD)₁
+// family where counting costs one round.
+func StarInstance(n int) (*Instance, error) {
+	g, err := graph.Star(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:      fmt.Sprintf("star-%d", n),
+		Net:       dynet.NewStatic(g),
+		Leader:    0,
+		MaxDegree: n - 1,
+		Horizon:   linearHorizon(n),
+		TrueN:     n,
+	}, nil
+}
+
+// ChurnInstance is the fair randomized-churn adversary: each round is an
+// independent connected random graph, satisfying the Fair requirement of
+// convergence-based estimators.
+func ChurnInstance(n int, seed int64) (*Instance, error) {
+	net, err := dynet.NewRandomChurn(n, 0.3, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:      fmt.Sprintf("churn-%d-seed%d", n, seed),
+		Net:       net,
+		Leader:    0,
+		MaxDegree: n - 1,
+		Horizon:   10 * linearHorizon(n),
+		TrueN:     n,
+		Fair:      true,
+	}, nil
+}
+
+// FloodDelayInstance is the adaptive flood-delaying adversary, the
+// worst-case 1-interval-connected family for flooding-based algorithms.
+func FloodDelayInstance(n int) (*Instance, error) {
+	net, err := dynet.NewFloodDelaying(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:      fmt.Sprintf("flood-delay-%d", n),
+		Net:       net,
+		Leader:    0,
+		MaxDegree: n - 1,
+		Horizon:   linearHorizon(n),
+		TrueN:     n,
+	}, nil
+}
+
+// RestrictedPD2Instance is the rotating restricted 𝒢(PD)₂ network with k=2
+// relays and `outer` V₂ nodes (moved here from cmd/anondyn so the oracle
+// and upper-bound algorithms have a registry-native family). Odd-indexed V₂
+// nodes touch both relays each round, so V₂ degrees are uneven — the
+// irregular layout the degree-oracle counter must still sum exactly.
+func RestrictedPD2Instance(outer int) (*Instance, error) {
+	if outer < 1 {
+		return nil, fmt.Errorf("counting: restricted PD2 instance needs at least 1 outer node, got %d", outer)
+	}
+	const k = 2
+	total := 1 + k + outer
+	v1 := []graph.NodeID{1, 2}
+	v2 := make([]graph.NodeID, outer)
+	for i := range v2 {
+		v2[i] = graph.NodeID(1 + k + i)
+	}
+	net := dynet.NewFunc(total, func(r int) *graph.Graph {
+		g := graph.New(total)
+		for _, rel := range v1 {
+			_ = g.AddEdge(0, rel)
+		}
+		for i, w := range v2 {
+			_ = g.AddEdge(v1[(i+r)%k], w)
+			if i%2 == 1 {
+				_ = g.AddEdge(v1[(i+r+1)%k], w)
+			}
+		}
+		return g
+	})
+	return &Instance{
+		Name:      fmt.Sprintf("restricted-pd2-%d", outer),
+		Net:       net,
+		Leader:    0,
+		V1:        v1,
+		V2:        v2,
+		MaxDegree: observedMaxDegree(net, 8),
+		Horizon:   linearHorizon(total),
+		TrueN:     total,
+	}, nil
+}
+
+// observedMaxDegree scans the first `rounds` snapshots for the maximum
+// degree, standing in for an a-priori degree bound on families that do not
+// have a closed form.
+func observedMaxDegree(net dynet.Dynamic, rounds int) int {
+	maxDeg := 0
+	for r := 0; r < rounds; r++ {
+		g := net.Snapshot(r)
+		for v := 0; v < net.N(); v++ {
+			if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+				maxDeg = d
+			}
+		}
+	}
+	return maxDeg
+}

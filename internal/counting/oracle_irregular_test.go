@@ -1,0 +1,109 @@
+package counting
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+// irregularPD2 builds a restricted 𝒢(PD)₂ network whose V₂ degrees are
+// deliberately uneven: node i attaches to 1 + (i mod k) relays, rotating
+// with the round, so the same snapshot mixes degree-1, degree-2, …,
+// degree-k outer nodes. The degree-oracle counter sums shares of 1/d with
+// d varying per node and per round — exactly the arithmetic a float
+// implementation (1/1 + 1/3 + …) would get wrong and the big.Rat path must
+// get exact.
+func irregularPD2(k, outer int) (dynet.Dynamic, []graph.NodeID, []graph.NodeID) {
+	n := 1 + k + outer
+	v1 := make([]graph.NodeID, k)
+	for i := range v1 {
+		v1[i] = graph.NodeID(1 + i)
+	}
+	v2 := make([]graph.NodeID, outer)
+	for i := range v2 {
+		v2[i] = graph.NodeID(1 + k + i)
+	}
+	net := dynet.NewFunc(n, func(r int) *graph.Graph {
+		g := graph.New(n)
+		for _, rel := range v1 {
+			_ = g.AddEdge(0, rel)
+		}
+		for i, w := range v2 {
+			deg := 1 + i%k
+			for j := 0; j < deg; j++ {
+				_ = g.AddEdge(v1[(i+r+j)%k], w)
+			}
+		}
+		return g
+	})
+	return net, v1, v2
+}
+
+// OracleCount must stay exact when V₂ degrees are uneven within one round
+// and change across rounds — the irregular layouts the restricted-PD₂
+// definition permits, not just the symmetric rotating family.
+func TestOracleCountIrregularDegrees(t *testing.T) {
+	for name, run := range engines() {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{2, 3, 4} {
+				for _, outer := range []int{1, 5, 11, 23} {
+					net, v1, v2 := irregularPD2(k, outer)
+					count, rounds, err := OracleCount(net, 0, v1, v2, run)
+					if err != nil {
+						t.Fatalf("k=%d outer=%d: %v", k, outer, err)
+					}
+					if want := 1 + k + outer; count != want {
+						t.Fatalf("k=%d outer=%d: counted %d, want %d", k, outer, count, want)
+					}
+					if rounds != 2 {
+						t.Fatalf("k=%d outer=%d: %d rounds, want 2", k, outer, rounds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The extreme irregular case: one V₂ node adjacent to every relay, the
+// rest to exactly one, all shifting every round. Shares of 1/k and 1/1
+// must still sum to exactly |V₂|.
+func TestOracleCountFullFanAndLeaves(t *testing.T) {
+	const k, outer = 4, 9
+	n := 1 + k + outer
+	v1 := make([]graph.NodeID, k)
+	for i := range v1 {
+		v1[i] = graph.NodeID(1 + i)
+	}
+	v2 := make([]graph.NodeID, outer)
+	for i := range v2 {
+		v2[i] = graph.NodeID(1 + k + i)
+	}
+	net := dynet.NewFunc(n, func(r int) *graph.Graph {
+		g := graph.New(n)
+		for _, rel := range v1 {
+			_ = g.AddEdge(0, rel)
+		}
+		for i, w := range v2 {
+			if i == 0 {
+				for _, rel := range v1 {
+					_ = g.AddEdge(rel, w)
+				}
+				continue
+			}
+			_ = g.AddEdge(v1[(i+r)%k], w)
+		}
+		return g
+	})
+	count, rounds, err := OracleCount(net, 0, v1, v2, runtime.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + k + outer; count != want {
+		t.Fatalf("counted %d, want %d", count, want)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+}

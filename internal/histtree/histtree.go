@@ -1,0 +1,287 @@
+// Package histtree implements the history-tree data structure of Di Luna
+// and Viglietta ("Computing in Anonymous Dynamic Networks Is Linear",
+// arXiv:2204.02128) and, on top of it, an exact counting protocol for
+// anonymous 1-interval-connected dynamic networks that terminates in O(n)
+// rounds — the algorithm that closed the problem the source paper's
+// Ω(log n) anonymity lower bound opened.
+//
+// A history tree is a per-execution structure whose level-t nodes are the
+// anonymity classes after t completed rounds: the sets of processes whose
+// views of the execution are identical. Level 0 partitions processes by
+// input (leader / non-leader); the class of a process after round t+1 is
+// determined by its class after round t together with the multiset of
+// classes it heard from in round t+1. Two edge kinds connect consecutive
+// levels:
+//
+//   - black edges (the tree edges, Node parent links) connect a class to
+//     the classes that refine it one round later;
+//   - red edges (RedEdge) connect a level-(t+1) class B' to every level-t
+//     class A whose members were heard by B' members in round t+1, with
+//     multiplicity = how many such messages each B' member received.
+//
+// Because the level-(t+1) partition always refines the level-t partition,
+// the number of classes per level is non-decreasing and bounded by n, so
+// at most n-1 levels can split a class: some pair of consecutive levels
+// with identical partitions (a "stable pair") exists within the first n
+// levels, and at a stable pair the red-edge multiplicities determine every
+// class cardinality exactly (see count.go).
+//
+// Tree is a shared intern table: every distinct class is stored once and
+// identified by a dense int32 id, processes' views are bitsets (View) over
+// those ids, and the per-round "chunk merge" of the paper becomes a bitset
+// OR — the hot path of the protocol. The table is safe for concurrent use
+// so the same Count run executes unchanged on the sequential, concurrent,
+// and sharded engines; the structural Hash is id-free, so canonical
+// message ordering does not depend on the engine's interning order.
+package histtree
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// RedEdge records that members of the class owning the edge received Mult
+// messages from members of class Class (one level below) in the round that
+// created the owning class.
+type RedEdge struct {
+	// Class is the intern id of the observed class.
+	Class int32
+	// Mult is the per-member message multiplicity.
+	Mult int32
+}
+
+// node is one interned history-tree node: an anonymity class.
+type node struct {
+	level  int32
+	parent int32 // black edge to the refined class; -1 at level 0
+	leader bool  // level-0 input bit (the unique leader)
+	red    []RedEdge
+	hash   uint64 // id-free structural fingerprint
+}
+
+// Tree is the shared intern table of history-tree nodes for one execution.
+// Ids are dense and assigned in interning order, which may differ between
+// engines; anything observable across engines must go through the
+// structural Hash or through id-free comparisons.
+type Tree struct {
+	mu    sync.RWMutex
+	nodes []node
+	index map[string]int32
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{index: make(map[string]int32)}
+}
+
+// fnv1a is the 64-bit FNV-1a step, used to chain structural hashes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Root interns (or finds) the level-0 class for the given input bit and
+// returns its id. Every execution has exactly two possible roots: the
+// leader's singleton class and the shared non-leader class.
+func (t *Tree) Root(leader bool) int32 {
+	key := "F"
+	if leader {
+		key = "L"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.index[key]; ok {
+		return id
+	}
+	h := fnvUint64(fnvOffset, 0)
+	if leader {
+		h = fnvUint64(h, 1)
+	} else {
+		h = fnvUint64(h, 2)
+	}
+	return t.insert(key, node{level: 0, parent: -1, leader: leader, hash: h})
+}
+
+// Extend interns (or finds) the child class of parent whose members heard
+// the multiset described by heard, and returns its id. heard must reference
+// classes at the parent's level with distinct Class entries; it is copied,
+// so the caller may reuse its slice. A process calls Extend once per round
+// with the multiset of classes observed in its inbox.
+func (t *Tree) Extend(parent int32, heard []RedEdge) int32 {
+	red := make([]RedEdge, len(heard))
+	copy(red, heard)
+	sort.Slice(red, func(i, j int) bool { return red[i].Class < red[j].Class })
+
+	// Intern key: parent id plus the id-sorted multiset. Ids are stable
+	// within a run, so the key is canonical per tree instance.
+	buf := make([]byte, 0, 16+12*len(red))
+	buf = strconv.AppendInt(buf, int64(parent), 10)
+	for _, e := range red {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(e.Class), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(e.Mult), 10)
+	}
+	key := string(buf)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.index[key]; ok {
+		return id
+	}
+	p := t.nodes[parent]
+	// Structural hash: chain the parent's hash with the multiset of
+	// (child-class hash, multiplicity) pairs sorted by hash — id-free, so
+	// equal classes hash equally regardless of interning order.
+	type hm struct {
+		h uint64
+		m int32
+	}
+	hs := make([]hm, len(red))
+	for i, e := range red {
+		hs[i] = hm{h: t.nodes[e.Class].hash, m: e.Mult}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].h != hs[j].h {
+			return hs[i].h < hs[j].h
+		}
+		return hs[i].m < hs[j].m
+	})
+	h := fnvUint64(fnvOffset, uint64(p.level)+1)
+	h = fnvUint64(h, p.hash)
+	for _, e := range hs {
+		h = fnvUint64(h, e.h)
+		h = fnvUint64(h, uint64(e.m))
+	}
+	return t.insert(key, node{level: p.level + 1, parent: parent, red: red, hash: h})
+}
+
+// insert appends a node under the write lock.
+func (t *Tree) insert(key string, n node) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	t.index[key] = id
+	return id
+}
+
+// Len returns the number of interned classes.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// Info returns the structural fields of a class: its level, its black-edge
+// parent (-1 at level 0), and its red edges sorted by Class. The returned
+// slice is owned by the tree and must not be modified.
+func (t *Tree) Info(id int32) (level int, parent int32, red []RedEdge) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.nodes[id]
+	return int(n.level), n.parent, n.red
+}
+
+// Hash returns the id-free structural fingerprint of a class: equal across
+// engines and interning orders for structurally equal classes.
+func (t *Tree) Hash(id int32) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[id].hash
+}
+
+// Leader reports whether id is the level-0 leader class.
+func (t *Tree) Leader(id int32) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.nodes[id]
+	return n.level == 0 && n.leader
+}
+
+// View is a process's knowledge of the execution: the set of history-tree
+// classes it has created or heard about, as a bitset over intern ids. The
+// per-round merge of two views — the protocol's hot path — is a word-wise
+// OR. The zero View is empty and ready for use.
+type View struct {
+	bits []uint64
+}
+
+// grow ensures the bitset covers word index w.
+func (v *View) grow(w int) {
+	for len(v.bits) <= w {
+		v.bits = append(v.bits, 0)
+	}
+}
+
+// Has reports whether the class is in the view.
+func (v *View) Has(id int32) bool {
+	w := int(id >> 6)
+	return w < len(v.bits) && v.bits[w]&(1<<uint(id&63)) != 0
+}
+
+// Add inserts a class and reports whether it was newly added.
+func (v *View) Add(id int32) bool {
+	w := int(id >> 6)
+	v.grow(w)
+	m := uint64(1) << uint(id&63)
+	if v.bits[w]&m != 0 {
+		return false
+	}
+	v.bits[w] |= m
+	return true
+}
+
+// Merge ORs another view's snapshot into v.
+func (v *View) Merge(other []uint64) {
+	if len(other) > len(v.bits) {
+		v.grow(len(other) - 1)
+	}
+	for i, w := range other {
+		v.bits[i] |= w
+	}
+}
+
+// MergeCollect ORs other into v and appends every newly set id to out,
+// returning the extended slice. It is the leader-side merge: the caller
+// indexes the new classes incrementally instead of rescanning the bitset.
+func (v *View) MergeCollect(other []uint64, out []int32) []int32 {
+	if len(other) > len(v.bits) {
+		v.grow(len(other) - 1)
+	}
+	for i, w := range other {
+		diff := w &^ v.bits[i]
+		v.bits[i] |= w
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			out = append(out, int32(i<<6+b))
+			diff &= diff - 1
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of the bitset, safe to hand to another process.
+func (v *View) Snapshot() []uint64 {
+	out := make([]uint64, len(v.bits))
+	copy(out, v.bits)
+	return out
+}
+
+// Count returns the number of classes in the view.
+func (v *View) Count() int {
+	n := 0
+	for _, w := range v.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

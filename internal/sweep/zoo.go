@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"anondyn/internal/counting"
+	"anondyn/internal/runtime"
+)
+
+// The zoo campaign: every comparable counting algorithm from the
+// counting.Registry measured on the same worst-case ℳ(DBL)₂ → 𝒢(PD)₂
+// family, so one journal holds the rounds-vs-n comparison the paper's
+// cost-of-anonymity question is about. Job.N is |W|; every proto reports
+// the total network size |V| = |W| + 3 as its count. The protos are
+// deterministic (the worst-case schedule ignores Job.Seed), so the frozen
+// EXPERIMENTS.md rows are reproducible byte-for-byte.
+
+// Registered zoo protocol names, one per comparable registry algorithm.
+// The oracle, star, and push-sum entries are absent by design: their model
+// requirements (degree oracle, 𝒢(PD)₁, fair adversary) do not hold on the
+// worst-case family, which is exactly what counting.Requirements encodes.
+const (
+	ProtoZooHistTree    = "zoo-histtree"
+	ProtoZooIDCount     = "zoo-idcount"
+	ProtoZooIncremental = "zoo-incremental"
+	ProtoZooLeaderState = "zoo-leaderstate"
+	ProtoZooUpperBound  = "zoo-upperbound"
+)
+
+// ZooAlgorithms maps each zoo proto to its registry algorithm.
+var ZooAlgorithms = map[string]string{
+	ProtoZooHistTree:    "histtree",
+	ProtoZooIDCount:     "idcount",
+	ProtoZooIncremental: "incremental",
+	ProtoZooLeaderState: "leaderstate",
+	ProtoZooUpperBound:  "upperbound",
+}
+
+func init() {
+	for proto, algo := range ZooAlgorithms {
+		proto, algo := proto, algo
+		Register(proto, func(ctx context.Context, job Job) (Result, error) {
+			return zooRun(ctx, job, algo)
+		})
+	}
+}
+
+// zooRun executes one registry algorithm on the worst-case instance of
+// size job.N. An exact algorithm returning a wrong count is an execution
+// fault (it would falsify the algorithm's correctness claim), as is an
+// upper bound below the truth; an over-counting upper bound is the
+// expected measurement and is recorded as-is.
+func zooRun(ctx context.Context, job Job, algo string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	inst, err := counting.WorstCaseInstance(job.N)
+	if err != nil {
+		return Result{}, err
+	}
+	if job.Horizon > inst.Horizon {
+		inst.Horizon = job.Horizon
+	}
+	entry, err := counting.Lookup(algo)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Key: job.Key, Proto: job.Proto, N: job.N, Trial: job.Trial}
+	out, err := counting.RunAlgorithm(algo, inst, counting.Runner(runtime.RunSequential))
+	if err != nil {
+		res.Rounds = -1
+		res.Failed = true
+		res.Err = err.Error()
+		return res, nil
+	}
+	switch entry.Semantics {
+	case counting.SemExact:
+		if out.Count != inst.TrueN {
+			return Result{}, fmt.Errorf("sweep: %s counted %d on the size-%d worst case (|V| = %d)",
+				job.Key, out.Count, job.N, inst.TrueN)
+		}
+	case counting.SemUpperBound:
+		if out.Count < inst.TrueN {
+			return Result{}, fmt.Errorf("sweep: %s bound %d below the true size %d",
+				job.Key, out.Count, inst.TrueN)
+		}
+	}
+	res.Rounds = out.Rounds
+	res.Count = out.Count
+	return res, nil
+}
+
+// BuiltinSet returns a named built-in multi-spec campaign set — several
+// specs whose journal rows share one file and aggregate into one combined
+// table:
+//
+//   - "zoo": the comparative counting-algorithm campaign frozen into
+//     EXPERIMENTS.md — five registry algorithms on the worst-case family.
+//     The incremental counter's grid stops earlier: its round count grows
+//     cubically, so the larger sizes would dominate the whole campaign's
+//     wall time without adding information.
+//   - "zoo-smoke": a seconds-scale subset for CI.
+func BuiltinSet(name string) ([]Spec, bool) {
+	switch name {
+	case "zoo":
+		full := []int{4, 13, 40, 121}
+		short := []int{4, 13, 40}
+		return []Spec{
+			{Name: "zoo-histtree", Proto: ProtoZooHistTree, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-idcount", Proto: ProtoZooIDCount, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-incremental", Proto: ProtoZooIncremental, Sizes: short, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-leaderstate", Proto: ProtoZooLeaderState, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-upperbound", Proto: ProtoZooUpperBound, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+		}, true
+	case "zoo-smoke":
+		sizes := []int{4, 7}
+		return []Spec{
+			{Name: "zoo-histtree", Proto: ProtoZooHistTree, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-idcount", Proto: ProtoZooIDCount, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-incremental", Proto: ProtoZooIncremental, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-leaderstate", Proto: ProtoZooLeaderState, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-upperbound", Proto: ProtoZooUpperBound, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+		}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinSetNames(t *testing.T) {
+	for _, name := range []string{"zoo", "zoo-smoke"} {
+		specs, ok := BuiltinSet(name)
+		if !ok {
+			t.Fatalf("BuiltinSet(%q) missing", name)
+		}
+		if len(specs) != 5 {
+			t.Fatalf("BuiltinSet(%q) has %d specs, want 5 (the comparable registry algorithms)", name, len(specs))
+		}
+		seen := map[string]bool{}
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", name, s.Name, err)
+			}
+			if _, ok := Proto(s.Proto); !ok {
+				t.Fatalf("%s/%s: proto %q not registered", name, s.Name, s.Proto)
+			}
+			if seen[s.Proto] {
+				t.Fatalf("%s repeats proto %q (journal keys would collide)", name, s.Proto)
+			}
+			seen[s.Proto] = true
+		}
+	}
+	if _, ok := BuiltinSet("figures"); ok {
+		t.Fatal("single-spec builtins must not resolve as sets")
+	}
+}
+
+// Every zoo proto must produce the unit-consistent measurement on the
+// worst-case family: exact algorithms count |V| = |W| + 3 exactly (a wrong
+// count is an execution fault that would abort the campaign), the upper
+// bound is >= |V|.
+func TestZooProtosOnWorstCase(t *testing.T) {
+	ctx := context.Background()
+	const w = 4 // |W|; total |V| = 7
+	for proto, algo := range ZooAlgorithms {
+		fn, ok := Proto(proto)
+		if !ok {
+			t.Fatalf("proto %q not registered", proto)
+		}
+		job := Job{Key: proto + "/test", Proto: proto, N: w, Trial: 0, Horizon: 1, Seed: 1}
+		res, err := fn(ctx, job)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if res.Failed {
+			t.Fatalf("%s: failed: %s", proto, res.Err)
+		}
+		if algo == "upperbound" {
+			if res.Count < w+3 {
+				t.Fatalf("%s: bound %d below |V| = %d", proto, res.Count, w+3)
+			}
+		} else if res.Count != w+3 {
+			t.Fatalf("%s: count = %d, want |V| = %d", proto, res.Count, w+3)
+		}
+		if res.Rounds < 1 {
+			t.Fatalf("%s: rounds = %d", proto, res.Rounds)
+		}
+	}
+}
+
+// The zoo's frozen comparison rests on the protos being deterministic:
+// the same job must measure the same rounds on every run.
+func TestZooProtosDeterministic(t *testing.T) {
+	ctx := context.Background()
+	fn, _ := Proto(ProtoZooHistTree)
+	job := Job{Key: "det", Proto: ProtoZooHistTree, N: 7, Trial: 0, Horizon: 1, Seed: 5}
+	a, err := fn(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Seed = 99 // the worst-case family ignores the seed
+	b, err := fn(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Count != b.Count {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", a.Count, a.Rounds, b.Count, b.Rounds)
+	}
+}
+
+func TestZooCampaignEndToEnd(t *testing.T) {
+	specs, _ := BuiltinSet("zoo-smoke")
+	var all []Result
+	for _, spec := range specs {
+		rep, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		all = append(all, rep.Results...)
+	}
+	stats := Aggregate(all)
+	if len(stats) != 10 { // 5 protos × 2 sizes
+		t.Fatalf("combined table has %d rows, want 10", len(stats))
+	}
+	table := FormatTable(stats)
+	for proto := range ZooAlgorithms {
+		if !strings.Contains(table, proto) {
+			t.Fatalf("combined table missing %s:\n%s", proto, table)
+		}
+	}
+}
