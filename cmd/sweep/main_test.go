@@ -1,17 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"anondyn/internal/cli"
 	"anondyn/internal/obs"
 	"anondyn/internal/sweep"
+	"anondyn/internal/sweep/daemon"
 )
 
 func TestRunSmokeCampaign(t *testing.T) {
@@ -157,6 +162,152 @@ func TestRunMetricsSnapshot(t *testing.T) {
 	}
 	if h := snap.Histograms[obs.SweepJobNS]; h.Count != 8 {
 		t.Errorf("per-job histogram count = %d, want 8", h.Count)
+	}
+}
+
+// startServe launches "sweep serve" with -addr :0 under a cancellable
+// context, waits for -addrfile to publish the bound address, and returns the
+// base URL plus a stop function that shuts the daemon down gracefully and
+// requires exit 0.
+func startServe(t *testing.T, datadir string) (string, func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0",
+			"-datadir", datadir, "-addrfile", addrFile, "-workers", "2"}, &strings.Builder{})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && bytes.HasSuffix(data, []byte("\n")) {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("serve exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serve never wrote -addrfile")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("serve shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("serve did not shut down")
+		}
+	}
+}
+
+// The serve lifecycle: submit a campaign over HTTP, watch it to completion,
+// stop the daemon (exit 0), and restart on the same datadir — the finished
+// campaign is still listed, done, and servable.
+func TestServeLifecycle(t *testing.T) {
+	datadir := filepath.Join(t.TempDir(), "sweepd")
+	base, stop := startServe(t, datadir)
+
+	resp, err := http.Post(base+"/campaigns", "application/json",
+		strings.NewReader(`{"set":"smoke","workers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var m daemon.Meta
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+	if m.TotalJobs != 8 { // smoke = 2 sizes × 4 trials
+		t.Fatalf("total_jobs = %d, want 8", m.TotalJobs)
+	}
+
+	waitDone := func(base string) daemon.Status {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/campaigns/" + m.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st daemon.Status
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if st.State.Terminal() {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign stuck in %q", st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if st := waitDone(base); st.State != daemon.StateDone {
+		t.Fatalf("campaign ended %q (error %q), want done", st.State, st.Error)
+	}
+
+	// The aggregate endpoint recomputes from the journal and audits it.
+	resp, err = http.Get(base + "/campaigns/" + m.ID + "/results?format=table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(table), "mdbl-count") {
+		t.Fatalf("results: status %d:\n%s", resp.StatusCode, table)
+	}
+	stop()
+
+	// Restart on the same datadir: the durable queue still holds the
+	// campaign, terminal, without re-running anything.
+	base2, stop2 := startServe(t, datadir)
+	defer stop2()
+	if st := waitDone(base2); st.State != daemon.StateDone || st.DoneJobs != 8 {
+		t.Fatalf("after restart: state %q done_jobs %d, want done/8", st.State, st.DoneJobs)
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-max-campaigns", "0"},
+		{"serve", "-workers", "0"},
+		{"serve", "-retries", "-1"},
+		{"serve", "-nope"},
+		{"serve", "stray-positional"},
+	} {
+		err := run(context.Background(), args, &strings.Builder{})
+		if cli.ExitCode(err) != cli.ExitUsage {
+			t.Fatalf("args %v: want usage error, got %v", args, err)
+		}
+	}
+	// A bad -addr is only reached after the daemon opens its datadir; keep
+	// that side effect in a temp directory.
+	args := []string{"serve", "-datadir", filepath.Join(t.TempDir(), "d"),
+		"-addr", "not-an-address:-1"}
+	if err := run(context.Background(), args, &strings.Builder{}); cli.ExitCode(err) != cli.ExitUsage {
+		t.Fatalf("args %v: want usage error, got %v", args, err)
+	}
+}
+
+// -timeout doubles as a scheduled shutdown: the daemon exits 0 on its own.
+func TestServeTimeoutExitsCleanly(t *testing.T) {
+	err := run(context.Background(), []string{"serve", "-addr", "127.0.0.1:0",
+		"-datadir", filepath.Join(t.TempDir(), "d"), "-timeout", "150ms"}, &strings.Builder{})
+	if err != nil {
+		t.Fatalf("timed-out serve must exit 0, got %v", err)
 	}
 }
 

@@ -62,7 +62,6 @@ func (o *ObsConfig) Start() error {
 	if err != nil {
 		return Usagef("-pprof: %v", err)
 	}
-	col := o.col
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -70,16 +69,7 @@ func (o *ObsConfig) Start() error {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		data, err := col.Snapshot().MarshalIndent()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(data)
-		_, _ = w.Write([]byte("\n"))
-	})
+	mux.Handle("/metrics", obs.Handler(o.col))
 	o.addr = ln.Addr().String()
 	o.srv = &http.Server{Handler: mux}
 	go func() { _ = o.srv.Serve(ln) }()

@@ -1,0 +1,21 @@
+package obs
+
+import "net/http"
+
+// Handler serves the collector's live JSON snapshot over HTTP — the single
+// implementation behind the -pprof debug server's /metrics route and the
+// sweep daemon's per-campaign metrics endpoints. A nil collector serves
+// "null", the same convention as WriteFile: an observed-but-empty process is
+// distinguishable from a missing endpoint.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		data, err := c.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		_, _ = w.Write([]byte("\n"))
+	})
+}

@@ -54,6 +54,18 @@ const (
 	SweepJobNS           = "sweep.job_ns"            // histogram: per-job wall time
 	SweepJournalAppendNS = "sweep.journal_append_ns" // histogram: journal append+fsync latency
 
+	// Sweep daemon (internal/sweep/daemon): the campaign service. The
+	// engine-level metrics above are additionally recorded per campaign in
+	// each campaign's own collector, exposed on the daemon's /metrics.
+	DaemonCampaignsSubmitted = "daemon.campaigns_submitted" // counter: campaigns accepted over HTTP
+	DaemonCampaignsResumed   = "daemon.campaigns_resumed"   // counter: unfinished campaigns re-queued at startup
+	DaemonCampaignsDone      = "daemon.campaigns_done"      // counter: campaigns that completed
+	DaemonCampaignsFailed    = "daemon.campaigns_failed"    // counter: campaigns stopped by an execution fault
+	DaemonCampaignsCanceled  = "daemon.campaigns_canceled"  // counter: campaigns stopped by a cancel request
+	DaemonCampaignsActive    = "daemon.campaigns_active"    // gauge: campaigns running right now
+	DaemonHTTPRequests       = "daemon.http_requests"       // counter: API requests served
+	DaemonStreamClients      = "daemon.stream_clients"      // gauge: journal streams currently open
+
 	// Exact linear algebra (internal/linalg): rational elimination.
 	LinalgPivots   = "linalg.elimination_pivots" // counter: pivots consumed by rref
 	LinalgPeakBits = "linalg.peak_bits"          // gauge: peak big.Int bit-length seen in a pivot row

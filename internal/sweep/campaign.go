@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"anondyn/internal/obs"
 )
@@ -17,10 +18,17 @@ type CampaignOptions struct {
 	OnResult   func(Result)
 	Obs        *obs.Collector
 	// JournalPath, if non-empty, streams completed jobs to this JSONL
-	// file. With Resume, the file's existing rows are loaded first and
-	// their jobs are not re-executed; without it the file is truncated.
+	// file. With Resume, any torn tail left by a mid-append kill is
+	// truncated away, the file's remaining rows are loaded, and their jobs
+	// are not re-executed; without it the file is truncated to empty.
 	JournalPath string
 	Resume      bool
+	// Throttle, if positive, sleeps this long (cancellably) before every
+	// executed job. It is a resume-drill knob: fast campaigns finish before
+	// a kill can land mid-flight, so drills that exercise the kill/restart
+	// path widen the window with an artificial per-job cost. Resumed jobs
+	// never pay it — they do not execute.
+	Throttle time.Duration
 }
 
 // CampaignReport is a finished (or interrupted) campaign.
@@ -51,6 +59,18 @@ func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*Campaig
 	if !ok {
 		return nil, fmt.Errorf("sweep: spec %q names unknown protocol %q", spec.Name, spec.Proto)
 	}
+	if opts.Throttle > 0 {
+		inner := fn
+		throttle := opts.Throttle
+		fn = func(ctx context.Context, job Job) (Result, error) {
+			select {
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			case <-time.After(throttle):
+			}
+			return inner(ctx, job)
+		}
+	}
 	runOpts := Options{
 		Workers:    opts.Workers,
 		MaxRetries: opts.MaxRetries,
@@ -63,6 +83,14 @@ func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*Campaig
 		col = obs.Global()
 	}
 	if opts.JournalPath != "" {
+		// Open before read: a resume open truncates any torn tail first, so
+		// the Done set below can never include a row whose bytes are about
+		// to be repaired away.
+		j, err := OpenJournal(opts.JournalPath, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
 		if opts.Resume {
 			done, err := ReadJournal(opts.JournalPath)
 			if err != nil {
@@ -70,11 +98,6 @@ func RunCampaign(ctx context.Context, spec Spec, opts CampaignOptions) (*Campaig
 			}
 			runOpts.Done = done
 		}
-		j, err := OpenJournal(opts.JournalPath, opts.Resume)
-		if err != nil {
-			return nil, err
-		}
-		defer j.Close()
 		if col != nil {
 			j.Observe(col)
 		}

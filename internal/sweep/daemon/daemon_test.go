@@ -1,0 +1,581 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anondyn/internal/obs"
+	"anondyn/internal/sweep"
+)
+
+// testClient wraps one daemon instance behind an httptest server.
+type testClient struct {
+	t   *testing.T
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newTestClient(t *testing.T, dir string, cfg Config) *testClient {
+	t.Helper()
+	cfg.Dir = dir
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testClient{t: t, srv: srv, ts: httptest.NewServer(srv.Handler())}
+}
+
+func (tc *testClient) close() {
+	tc.ts.Close()
+	if err := tc.srv.Close(); err != nil {
+		tc.t.Errorf("server close: %v", err)
+	}
+}
+
+func (tc *testClient) post(path string, body any, wantCode int) map[string]any {
+	tc.t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	resp, err := http.Post(tc.ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		tc.t.Fatalf("POST %s: status %d, want %d: %s", path, resp.StatusCode, wantCode, payload)
+	}
+	var out map[string]any
+	if len(payload) > 0 {
+		if err := json.Unmarshal(payload, &out); err != nil {
+			tc.t.Fatalf("POST %s: bad JSON %q: %v", path, payload, err)
+		}
+	}
+	return out
+}
+
+func (tc *testClient) get(path string, wantCode int) map[string]any {
+	tc.t.Helper()
+	resp, err := http.Get(tc.ts.URL + path)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		tc.t.Fatalf("GET %s: status %d, want %d: %s", path, resp.StatusCode, wantCode, payload)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(payload, &out); err != nil {
+		tc.t.Fatalf("GET %s: bad JSON %q: %v", path, payload, err)
+	}
+	return out
+}
+
+// waitState polls a campaign's status until it reaches want.
+func (tc *testClient) waitState(id string, want State) map[string]any {
+	tc.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := tc.get("/campaigns/"+id, http.StatusOK)
+		if st["state"] == string(want) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tc.t.Fatalf("campaign %s never reached state %s", id, want)
+	return nil
+}
+
+// waitProgress polls until at least n jobs are journaled.
+func (tc *testClient) waitProgress(id string, n int) {
+	tc.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := tc.get("/campaigns/"+id, http.StatusOK)
+		if int(st["live_done_jobs"].(float64)) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tc.t.Fatalf("campaign %s never journaled %d jobs", id, n)
+}
+
+// The basic service loop: submit a spec over HTTP, watch it run to done,
+// stream the full journal, fetch aggregates in all three formats, and see
+// the campaign's engine metrics on both metrics endpoints.
+func TestDaemonSubmitStreamResults(t *testing.T) {
+	sweep.Register("daemon-basic-drill", func(_ context.Context, job sweep.Job) (sweep.Result, error) {
+		return sweep.Result{Rounds: job.N * 10, Count: job.N}, nil
+	})
+	tc := newTestClient(t, t.TempDir(), Config{Workers: 2})
+	defer tc.close()
+
+	spec := sweep.Spec{Name: "basic", Proto: "daemon-basic-drill", Sizes: []int{3, 5, 7}, Trials: 4, Horizon: 2, Seed: 1}
+	created := tc.post("/campaigns", map[string]any{"spec": spec}, http.StatusCreated)
+	id := created["id"].(string)
+	if created["state"] != string(StateQueued) && created["state"] != string(StateRunning) {
+		t.Fatalf("fresh campaign state = %v", created["state"])
+	}
+	if int(created["total_jobs"].(float64)) != 12 {
+		t.Fatalf("total_jobs = %v, want 12", created["total_jobs"])
+	}
+	st := tc.waitState(id, StateDone)
+	if int(st["live_done_jobs"].(float64)) != 12 {
+		t.Fatalf("done campaign live_done_jobs = %v", st["live_done_jobs"])
+	}
+
+	// The stream endpoint replays the whole journal for a finished
+	// campaign and then closes.
+	resp, err := http.Get(tc.ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r sweep.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("stream row %q: %v", sc.Text(), err)
+		}
+		if r.Rounds != r.N*10 {
+			t.Fatalf("streamed row %+v", r)
+		}
+		rows++
+	}
+	if rows != 12 {
+		t.Fatalf("stream delivered %d rows, want 12", rows)
+	}
+
+	res := tc.get("/campaigns/"+id+"/results", http.StatusOK)
+	if int(res["rows"].(float64)) != 12 || len(res["stats"].([]any)) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	for _, format := range []string{"table", "csv"} {
+		r2, err := http.Get(tc.ts.URL + "/campaigns/" + id + "/results?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, _ := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		if !strings.Contains(string(text), "daemon-basic-drill") {
+			t.Fatalf("%s output missing proto:\n%s", format, text)
+		}
+	}
+
+	// Engine metrics landed in the campaign's own collector.
+	cm := tc.get("/campaigns/"+id+"/metrics", http.StatusOK)
+	if got := cm["counters"].(map[string]any)[obs.SweepJobs]; got != float64(12) {
+		t.Fatalf("campaign %s = %v, want 12", obs.SweepJobs, got)
+	}
+	dm := tc.get("/metrics", http.StatusOK)
+	daemonCounters := dm["daemon"].(map[string]any)["counters"].(map[string]any)
+	if daemonCounters[obs.DaemonCampaignsSubmitted] != float64(1) || daemonCounters[obs.DaemonCampaignsDone] != float64(1) {
+		t.Fatalf("daemon counters = %v", daemonCounters)
+	}
+	if _, ok := dm["campaigns"].(map[string]any)[id]; !ok {
+		t.Fatalf("combined /metrics missing campaign %s: %v", id, dm)
+	}
+	health := tc.get("/healthz", http.StatusOK)
+	if health["ok"] != true {
+		t.Fatalf("healthz = %v", health)
+	}
+}
+
+// A named built-in set resolves server-side, shares one journal, and lands
+// the same row count the CLI produces.
+func TestDaemonSubmitBuiltinSet(t *testing.T) {
+	tc := newTestClient(t, t.TempDir(), Config{Workers: 2})
+	defer tc.close()
+	created := tc.post("/campaigns", map[string]any{"set": "zoo-smoke", "workers": 2}, http.StatusCreated)
+	id := created["id"].(string)
+	if int(created["total_jobs"].(float64)) != 10 { // 5 specs × 2 sizes × 1 trial
+		t.Fatalf("zoo-smoke total_jobs = %v, want 10", created["total_jobs"])
+	}
+	tc.waitState(id, StateDone)
+	done, err := sweep.ReadJournal(filepath.Join(tc.srv.dir, id, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 10 {
+		t.Fatalf("zoo-smoke journal holds %d rows, want 10", len(done))
+	}
+}
+
+// The tentpole's acceptance drill: submit, stream a prefix, kill the daemon
+// mid-campaign, restart on the same data directory, and require the resumed
+// campaign to complete with a journal byte-identical to an uninterrupted
+// run's (Workers=1 pins append order to job order).
+func TestDaemonKillRestartResumesByteIdentical(t *testing.T) {
+	var started atomic.Int64
+	gate := make(chan struct{})
+	sweep.Register("daemon-block-drill", func(ctx context.Context, job sweep.Job) (sweep.Result, error) {
+		if started.Add(1) > 2 {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sweep.Result{}, ctx.Err()
+			}
+		}
+		return sweep.Result{Rounds: job.N + job.Trial}, nil
+	})
+	spec := sweep.Spec{Name: "drill", Proto: "daemon-block-drill", Sizes: []int{3, 5, 7}, Trials: 2, Horizon: 1, Seed: 9}
+
+	dir := t.TempDir()
+	tc := newTestClient(t, dir, Config{})
+	created := tc.post("/campaigns", map[string]any{"spec": spec, "workers": 1}, http.StatusCreated)
+	id := created["id"].(string)
+
+	// A live streamer must see the first two rows before the kill.
+	streamResp, err := http.Get(tc.ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(chan int, 1)
+	go func() {
+		defer streamResp.Body.Close()
+		n := 0
+		sc := bufio.NewScanner(streamResp.Body)
+		for n < 2 && sc.Scan() {
+			n++
+		}
+		streamed <- n
+	}()
+	tc.waitProgress(id, 2)
+	if n := <-streamed; n != 2 {
+		t.Fatalf("streamer saw %d rows before the kill, want 2", n)
+	}
+
+	// Kill: Close cancels the run mid-campaign; the durable state stays
+	// "running", which is what re-queues it at the next startup.
+	tc.close()
+	journal := filepath.Join(dir, "campaigns", id, "journal.jsonl")
+	prefix, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sweep.ReadJournal(journal); len(got) != 2 {
+		t.Fatalf("pre-restart journal holds %d rows, want 2", len(got))
+	}
+	meta, err := readMeta(filepath.Join(dir, "campaigns", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.State != StateRunning {
+		t.Fatalf("killed campaign persisted state %q, want running", meta.State)
+	}
+
+	// Restart: the campaign resumes without re-executing journaled jobs.
+	close(gate)
+	tc2 := newTestClient(t, dir, Config{})
+	defer tc2.close()
+	st := tc2.waitState(id, StateDone)
+	if int(st["live_done_jobs"].(float64)) != 6 {
+		t.Fatalf("resumed campaign finished with live_done_jobs = %v, want 6", st["live_done_jobs"])
+	}
+	dm := tc2.get("/metrics", http.StatusOK)
+	if got := dm["daemon"].(map[string]any)["counters"].(map[string]any)[obs.DaemonCampaignsResumed]; got != float64(1) {
+		t.Fatalf("%s = %v, want 1", obs.DaemonCampaignsResumed, got)
+	}
+
+	final, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed prefix survives the kill byte-for-byte...
+	if !bytes.HasPrefix(final, prefix) {
+		t.Fatalf("resume rewrote the committed prefix:\n%q\nvs\n%q", final, prefix)
+	}
+	// ...and the whole file matches an uninterrupted single-worker run.
+	refDir := t.TempDir()
+	tcRef := newTestClient(t, refDir, Config{})
+	defer tcRef.close()
+	refCreated := tcRef.post("/campaigns", map[string]any{"spec": spec, "workers": 1}, http.StatusCreated)
+	refID := refCreated["id"].(string)
+	tcRef.waitState(refID, StateDone)
+	ref, err := os.ReadFile(filepath.Join(refDir, "campaigns", refID, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, ref) {
+		t.Fatalf("resumed journal differs from uninterrupted reference:\n%q\nvs\n%q", final, ref)
+	}
+	if _, err := sweep.ReadJournal(journal); err != nil {
+		t.Fatalf("final journal fails the audit: %v", err)
+	}
+}
+
+// A killed daemon that tore a journal row mid-append must repair it on
+// restart: the fragment is truncated, its job re-runs, and the audit stays
+// clean — the satellite bugfixes exercised through the service layer.
+func TestDaemonRestartRepairsTornJournal(t *testing.T) {
+	sweep.Register("daemon-torn-drill", func(_ context.Context, job sweep.Job) (sweep.Result, error) {
+		return sweep.Result{Rounds: job.N}, nil
+	})
+	spec := sweep.Spec{Name: "torn", Proto: "daemon-torn-drill", Sizes: []int{4, 6}, Trials: 2, Horizon: 1, Seed: 3}
+
+	dir := t.TempDir()
+	tc := newTestClient(t, dir, Config{})
+	created := tc.post("/campaigns", map[string]any{"spec": spec, "workers": 1}, http.StatusCreated)
+	id := created["id"].(string)
+	tc.waitState(id, StateDone)
+	tc.close()
+
+	// Forge the kill-mid-append aftermath: non-terminal state, torn tail.
+	cdir := filepath.Join(dir, "campaigns", id)
+	meta, err := readMeta(cdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.State = StateRunning
+	if err := writeMeta(cdir, meta); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(cdir, "journal.jsonl")
+	clean, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear off the last committed row and leave a fragment of it.
+	lines := bytes.SplitAfter(clean, []byte("\n"))
+	torn := append(bytes.Join(lines[:len(lines)-2], nil), lines[len(lines)-2][:9]...)
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tc2 := newTestClient(t, dir, Config{})
+	defer tc2.close()
+	tc2.waitState(id, StateDone)
+	final, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, clean) {
+		t.Fatalf("repaired journal differs from the clean run:\n%q\nvs\n%q", final, clean)
+	}
+}
+
+// Cancellation: a running campaign settles to canceled, keeps its journaled
+// rows, and is not re-queued by a restart; canceling twice conflicts.
+func TestDaemonCancel(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(gate) })
+	sweep.Register("daemon-cancel-drill", func(ctx context.Context, job sweep.Job) (sweep.Result, error) {
+		if job.Trial > 0 {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sweep.Result{}, ctx.Err()
+			}
+		}
+		return sweep.Result{Rounds: 1}, nil
+	})
+	spec := sweep.Spec{Name: "cancelme", Proto: "daemon-cancel-drill", Sizes: []int{5}, Trials: 4, Horizon: 1, Seed: 2}
+
+	dir := t.TempDir()
+	tc := newTestClient(t, dir, Config{})
+	created := tc.post("/campaigns", map[string]any{"spec": spec, "workers": 1}, http.StatusCreated)
+	id := created["id"].(string)
+	tc.waitProgress(id, 1)
+	tc.post("/campaigns/"+id+"/cancel", nil, http.StatusOK)
+	st := tc.waitState(id, StateCanceled)
+	if st["error"] == "" {
+		t.Fatalf("canceled campaign carries no cause: %v", st)
+	}
+	tc.post("/campaigns/"+id+"/cancel", nil, http.StatusConflict)
+	tc.close()
+
+	tc2 := newTestClient(t, dir, Config{})
+	defer tc2.close()
+	st2 := tc2.get("/campaigns/"+id, http.StatusOK)
+	if st2["state"] != string(StateCanceled) {
+		t.Fatalf("canceled campaign resurrected as %v", st2["state"])
+	}
+	dm := tc2.get("/metrics", http.StatusOK)
+	if got := dm["daemon"].(map[string]any)["counters"].(map[string]any)[obs.DaemonCampaignsResumed]; got != nil && got != float64(0) {
+		t.Fatalf("canceled campaign was re-queued: %v", got)
+	}
+}
+
+// MaxCampaigns bounds concurrency, not admission: with one slot, a second
+// submission waits in queued until the first finishes, then runs.
+func TestDaemonMaxCampaignsQueues(t *testing.T) {
+	gate := make(chan struct{})
+	sweep.Register("daemon-slot-drill", func(ctx context.Context, _ sweep.Job) (sweep.Result, error) {
+		select {
+		case <-gate:
+			return sweep.Result{Rounds: 1}, nil
+		case <-ctx.Done():
+			return sweep.Result{}, ctx.Err()
+		}
+	})
+	sweep.Register("daemon-fast-drill", func(_ context.Context, _ sweep.Job) (sweep.Result, error) {
+		return sweep.Result{Rounds: 1}, nil
+	})
+	tc := newTestClient(t, t.TempDir(), Config{MaxCampaigns: 1})
+	defer tc.close()
+
+	a := tc.post("/campaigns", map[string]any{"spec": sweep.Spec{
+		Name: "slot", Proto: "daemon-slot-drill", Sizes: []int{3}, Trials: 1, Horizon: 1, Seed: 1}}, http.StatusCreated)["id"].(string)
+	tc.waitState(a, StateRunning)
+	b := tc.post("/campaigns", map[string]any{"spec": sweep.Spec{
+		Name: "fast", Proto: "daemon-fast-drill", Sizes: []int{3}, Trials: 1, Horizon: 1, Seed: 1}}, http.StatusCreated)["id"].(string)
+	time.Sleep(50 * time.Millisecond) // give a buggy scheduler room to misbehave
+	if st := tc.get("/campaigns/"+b, http.StatusOK); st["state"] != string(StateQueued) {
+		t.Fatalf("second campaign state = %v with one slot busy, want queued", st["state"])
+	}
+	close(gate)
+	tc.waitState(a, StateDone)
+	tc.waitState(b, StateDone)
+}
+
+// Submission validation: every malformed body is a 400 before anything is
+// enqueued, unknown campaigns are 404s, and a closed server refuses with
+// 503.
+func TestDaemonValidationAndErrors(t *testing.T) {
+	tc := newTestClient(t, t.TempDir(), Config{})
+	okSpec := sweep.Spec{Name: "v", Proto: sweep.ProtoMDBLCount, Sizes: []int{3}, Trials: 1, Horizon: 2, Seed: 1}
+	for name, body := range map[string]any{
+		"empty":          map[string]any{},
+		"set and spec":   map[string]any{"set": "smoke", "spec": okSpec},
+		"unknown set":    map[string]any{"set": "no-such-set"},
+		"unknown proto":  map[string]any{"spec": sweep.Spec{Name: "x", Proto: "nope", Sizes: []int{3}, Trials: 1, Horizon: 1}},
+		"invalid spec":   map[string]any{"spec": sweep.Spec{Name: "x", Proto: sweep.ProtoMDBLCount, Trials: 1, Horizon: 1}},
+		"duplicate keys": map[string]any{"specs": []sweep.Spec{okSpec, okSpec}},
+		"negative knob":  map[string]any{"spec": okSpec, "throttle_ms": -1},
+	} {
+		if list := tc.get("/campaigns", http.StatusOK); len(list["campaigns"].([]any)) != 0 {
+			t.Fatalf("%s: campaigns leaked into the queue: %v", name, list)
+		}
+		tc.post("/campaigns", body, http.StatusBadRequest)
+	}
+	// Unknown fields fail loudly, same as spec files.
+	resp, err := http.Post(tc.ts.URL+"/campaigns", "application/json", strings.NewReader(`{"sepc":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("typo'd field accepted: %d", resp.StatusCode)
+	}
+	tc.get("/campaigns/c999999", http.StatusNotFound)
+	tc.post("/campaigns/c999999/cancel", nil, http.StatusNotFound)
+	tc.close()
+	resp, err = http.Post(tc.ts.URL+"/campaigns", "application/json", strings.NewReader(`{"set":"smoke"}`))
+	if err == nil { // the listener may already be down, which is also fine
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("closed server accepted a submission: %d", resp.StatusCode)
+		}
+	}
+}
+
+// The heavy-traffic shape: N concurrent submitters and M streamers per
+// campaign against one daemon, race detector on in CI. Every campaign must
+// complete, every stream must deliver the full journal, and every journal
+// must pass the audit.
+func TestDaemonConcurrentClients(t *testing.T) {
+	sweep.Register("daemon-load-drill", func(_ context.Context, job sweep.Job) (sweep.Result, error) {
+		return sweep.Result{Rounds: int(uint64(job.Seed) % 31)}, nil
+	})
+	tc := newTestClient(t, t.TempDir(), Config{MaxCampaigns: 4, Workers: 2})
+	defer tc.close()
+
+	const submitters, streamers = 4, 3
+	const jobsPer = 6 // 2 sizes × 3 trials
+	var wg sync.WaitGroup
+	ids := make([]string, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := sweep.Spec{
+				Name: fmt.Sprintf("load-%d", i), Proto: "daemon-load-drill",
+				Sizes: []int{3 + i, 9 + i}, Trials: 3, Horizon: 1, Seed: int64(100 + i),
+			}
+			created := tc.post("/campaigns", map[string]any{"spec": spec}, http.StatusCreated)
+			id := created["id"].(string)
+			ids[i] = id
+			var inner sync.WaitGroup
+			for s := 0; s < streamers; s++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					resp, err := http.Get(tc.ts.URL + "/campaigns/" + id + "/stream")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer resp.Body.Close()
+					rows := 0
+					sc := bufio.NewScanner(resp.Body)
+					for sc.Scan() {
+						rows++
+					}
+					if rows != jobsPer {
+						t.Errorf("campaign %s: streamer saw %d rows, want %d", id, rows, jobsPer)
+					}
+				}()
+			}
+			// A poller hammering status and the combined metrics endpoint
+			// while the campaign runs.
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				for j := 0; j < 20; j++ {
+					tc.get("/campaigns/"+id, http.StatusOK)
+					tc.get("/metrics", http.StatusOK)
+				}
+			}()
+			tc.waitState(id, StateDone)
+			inner.Wait()
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		done, err := sweep.ReadJournal(filepath.Join(tc.srv.dir, id, "journal.jsonl"))
+		if err != nil {
+			t.Fatalf("campaign %s journal audit: %v", id, err)
+		}
+		if len(done) != jobsPer {
+			t.Fatalf("campaign %s journal holds %d rows, want %d", id, len(done), jobsPer)
+		}
+	}
+	if list := tc.get("/campaigns", http.StatusOK); len(list["campaigns"].([]any)) != submitters {
+		t.Fatalf("list shows %d campaigns, want %d", len(list["campaigns"].([]any)), submitters)
+	}
+}
+
+// The throttle knob slows executed jobs (widening the kill window for
+// drills) but never resumed ones.
+func TestDaemonThrottleAppliesToExecutedJobsOnly(t *testing.T) {
+	sweep.Register("daemon-throttle-drill", func(_ context.Context, _ sweep.Job) (sweep.Result, error) {
+		return sweep.Result{Rounds: 1}, nil
+	})
+	spec := sweep.Spec{Name: "thr", Proto: "daemon-throttle-drill", Sizes: []int{3}, Trials: 4, Horizon: 1, Seed: 1}
+	tc := newTestClient(t, t.TempDir(), Config{})
+	defer tc.close()
+	start := time.Now()
+	id := tc.post("/campaigns", map[string]any{"spec": spec, "workers": 1, "throttle_ms": 30}, http.StatusCreated)["id"].(string)
+	tc.waitState(id, StateDone)
+	if elapsed := time.Since(start); elapsed < 4*30*time.Millisecond {
+		t.Fatalf("throttled campaign finished in %v, want >= 120ms", elapsed)
+	}
+}

@@ -1,0 +1,394 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"anondyn/internal/obs"
+	"anondyn/internal/sweep"
+)
+
+// The HTTP API. All bodies are JSON; errors are {"error": "..."} with a
+// 4xx/5xx status. Routes:
+//
+//	POST /campaigns                 submit a campaign (spec, specs, or set)
+//	GET  /campaigns                 list campaigns with live progress
+//	GET  /campaigns/{id}            one campaign's status
+//	GET  /campaigns/{id}/stream     chunked JSONL of journal rows, following
+//	                                appends until the campaign is terminal
+//	GET  /campaigns/{id}/results    aggregated per-(proto, n) distributions
+//	GET  /campaigns/{id}/metrics    the campaign's collector snapshot
+//	POST /campaigns/{id}/cancel     stop a queued or running campaign
+//	GET  /metrics                   daemon + per-campaign snapshots
+//	GET  /healthz                   liveness probe
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /campaigns/{id}/metrics", s.handleCampaignMetrics)
+	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// SubmitRequest is the submission body. Exactly one of Set, Spec, or Specs
+// selects the work; the rest tune the run.
+type SubmitRequest struct {
+	// Set names a built-in multi-spec set (sweep.BuiltinSet): "zoo",
+	// "zoo-smoke".
+	Set string `json:"set,omitempty"`
+	// Spec is one inline campaign spec.
+	Spec *sweep.Spec `json:"spec,omitempty"`
+	// Specs is an explicit multi-spec campaign sharing one journal.
+	Specs []sweep.Spec `json:"specs,omitempty"`
+	// Workers overrides the daemon's default per-campaign pool size.
+	Workers int `json:"workers,omitempty"`
+	// Retries overrides the daemon's default per-job retry budget.
+	Retries int `json:"retries,omitempty"`
+	// ThrottleMS sleeps this long before every executed job — the
+	// resume-drill knob that keeps a fast campaign in flight long enough
+	// for a kill/restart drill to land mid-campaign.
+	ThrottleMS int `json:"throttle_ms,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad submission body: %w", err))
+		return
+	}
+	m, err := buildMeta(req, s.workers, s.retries)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.submit(m)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, errServerClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.status())
+}
+
+// buildMeta validates a submission into a durable record: the spec source
+// is unambiguous, every spec expands, every proto is registered, and job
+// keys are unique across the whole set (the specs share one journal, whose
+// audit would otherwise report false duplicates).
+func buildMeta(req SubmitRequest, defWorkers, defRetries int) (Meta, error) {
+	m := Meta{
+		Set:        req.Set,
+		Workers:    req.Workers,
+		Retries:    req.Retries,
+		ThrottleMS: req.ThrottleMS,
+	}
+	if m.Workers == 0 {
+		m.Workers = defWorkers
+	}
+	if m.Retries == 0 {
+		m.Retries = defRetries
+	}
+	if m.Workers < 0 || m.Retries < 0 || m.ThrottleMS < 0 {
+		return Meta{}, errors.New("workers, retries, and throttle_ms must be >= 0")
+	}
+	sources := 0
+	switch {
+	case req.Set != "":
+		sources++
+		specs, ok := sweep.BuiltinSet(req.Set)
+		if !ok {
+			if spec, okOne := sweep.Builtin(req.Set); okOne {
+				specs, ok = []sweep.Spec{spec}, true
+			}
+		}
+		if !ok {
+			return Meta{}, fmt.Errorf("unknown built-in set %q (have: figures, smoke, zoo, zoo-smoke)", req.Set)
+		}
+		m.Specs = specs
+	case req.Spec != nil:
+		sources++
+		m.Specs = []sweep.Spec{*req.Spec}
+	case len(req.Specs) > 0:
+		sources++
+		m.Specs = req.Specs
+	}
+	if req.Spec != nil && len(req.Specs) > 0 {
+		sources++
+	}
+	if req.Set != "" && (req.Spec != nil || len(req.Specs) > 0) {
+		sources++
+	}
+	if sources != 1 {
+		return Meta{}, errors.New(`submission needs exactly one of "set", "spec", or "specs"`)
+	}
+	keys := make(map[string]string)
+	for _, spec := range m.Specs {
+		if _, ok := sweep.Proto(spec.Proto); !ok {
+			return Meta{}, fmt.Errorf("spec %q names unregistered protocol %q", spec.Name, spec.Proto)
+		}
+		jobs, err := spec.Jobs()
+		if err != nil {
+			return Meta{}, err
+		}
+		for _, job := range jobs {
+			if prev, dup := keys[job.Key]; dup {
+				return Meta{}, fmt.Errorf("specs %q and %q collide on job key %s (one shared journal per campaign)", prev, spec.Name, job.Key)
+			}
+			keys[job.Key] = spec.Name
+		}
+		m.TotalJobs += len(jobs)
+	}
+	return m, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	all := make([]*campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		all = append(all, c)
+	}
+	s.mu.Unlock()
+	statuses := make([]Status, 0, len(all))
+	for _, c := range all {
+		statuses = append(statuses, c.status())
+	}
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].ID < statuses[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": statuses})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *campaign {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+	}
+	return c
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if c := s.lookup(w, r); c != nil {
+		writeJSON(w, http.StatusOK, c.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	if m, err := c.requestCancel(s.m.canceled); err != nil {
+		httpError(w, http.StatusConflict, err)
+	} else {
+		writeJSON(w, http.StatusOK, m)
+	}
+}
+
+// handleResults serves the campaign's aggregates, recomputed from the
+// journal so the response always reflects exactly the durable rows (the
+// read is also the audit: a corrupt journal is a loud 500, not a quiet
+// table). ?format=table or ?format=csv render the text forms the CLI
+// prints; the default is JSON.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	rows, err := sweep.ReadJournal(c.journal)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	results := make([]sweep.Result, 0, len(rows))
+	for _, res := range rows {
+		results = append(results, res)
+	}
+	stats := sweep.Aggregate(results)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":    c.snapshot().ID,
+			"state": c.snapshot().State,
+			"rows":  len(results),
+			"stats": stats,
+		})
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, sweep.FormatTable(stats))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = io.WriteString(w, sweep.FormatCSV(stats))
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, table, csv)", r.URL.Query().Get("format")))
+	}
+}
+
+// handleStream serves the journal as chunked JSONL, straight off the file:
+// every committed (newline-terminated) row already present, then new rows
+// as they append, until the campaign reaches a terminal state or the client
+// goes away. Torn bytes at the tail are never emitted — the stream shares
+// the journal's commit marker.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	s.m.streams.Add(1)
+	defer s.m.streams.Add(-1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	var off int64
+	emit := func() bool {
+		n, wrote, err := copyCommittedRows(w, c.journal, off)
+		if err != nil {
+			return false // client gone or journal unreadable; just stop
+		}
+		off = n
+		if wrote {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit() {
+		return
+	}
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			emit() // final drain: rows between the last tick and the close
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// copyCommittedRows writes every complete line of path starting at offset
+// off to w and returns the new offset. Memory is bounded by one row; an
+// unterminated tail (a row mid-append) is left for the next call.
+func copyCommittedRows(w io.Writer, path string, off int64) (int64, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return off, false, nil // journal not created yet
+		}
+		return off, false, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return off, false, err
+	}
+	br := bufio.NewReader(f)
+	wrote := false
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return off, wrote, rerr
+		}
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			if _, err := w.Write(line); err != nil {
+				return off, wrote, err
+			}
+			off += int64(len(line))
+			wrote = true
+		}
+		if rerr != nil {
+			return off, wrote, nil
+		}
+	}
+}
+
+// handleCampaignMetrics serves one campaign's collector snapshot (queue
+// depth, jobs/sec, per-job and journal append+fsync latency) through the
+// shared obs.Handler.
+func (s *Server) handleCampaignMetrics(w http.ResponseWriter, r *http.Request) {
+	if c := s.lookup(w, r); c != nil {
+		obs.Handler(c.col).ServeHTTP(w, r)
+	}
+}
+
+// handleMetrics serves the daemon's own snapshot plus every campaign's,
+// keyed by ID — one scrape shows service health and per-campaign engine
+// throughput side by side.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.campaigns))
+	cols := make(map[string]*obs.Collector, len(s.campaigns))
+	for id, c := range s.campaigns {
+		ids = append(ids, id)
+		cols[id] = c.col
+	}
+	s.mu.Unlock()
+	payload := struct {
+		Daemon    *obs.Snapshot            `json:"daemon"`
+		Campaigns map[string]*obs.Snapshot `json:"campaigns"`
+	}{
+		Daemon:    s.col.Snapshot(),
+		Campaigns: make(map[string]*obs.Snapshot, len(ids)),
+	}
+	for _, id := range ids {
+		payload.Campaigns[id] = cols[id].Snapshot()
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        !closed,
+		"campaigns": n,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

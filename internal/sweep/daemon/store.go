@@ -1,0 +1,155 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anondyn/internal/sweep"
+)
+
+// State is a campaign's position in the service lifecycle.
+type State string
+
+const (
+	// StateQueued: accepted and durable, waiting for a runner slot.
+	StateQueued State = "queued"
+	// StateRunning: executing on the worker pool. A daemon killed in this
+	// state re-queues the campaign at the next startup — the journal holds
+	// every completed job, so the resume recomputes only what is missing.
+	StateRunning State = "running"
+	// StateDone: every job completed and aggregates are servable.
+	StateDone State = "done"
+	// StateFailed: an execution fault survived the retry budget. Failed
+	// campaigns are not re-queued at startup; the fault is deterministic
+	// until the code or spec changes.
+	StateFailed State = "failed"
+	// StateCanceled: stopped by a cancel request. Completed jobs stay in
+	// the journal but the campaign is never resumed.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final — never re-queued at startup.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Meta is the durable record of one submitted campaign — the unit of the
+// daemon's persistent queue. It is written (fsynced, atomically via rename)
+// to <dir>/meta.json before the submission is acknowledged and on every
+// state transition, so the set of meta files *is* the queue: a restarted
+// daemon re-queues exactly the campaigns whose state is not terminal and
+// resumes them from their journals.
+type Meta struct {
+	// ID is the campaign's identity — its directory name and API handle.
+	ID string `json:"id"`
+	// Set names the built-in spec set submitted, when one was ("zoo",
+	// "zoo-smoke"); informational.
+	Set string `json:"set,omitempty"`
+	// Specs are the member campaigns, run in order into one shared journal.
+	Specs []sweep.Spec `json:"specs"`
+	// Workers, Retries, and ThrottleMS are the sweep.CampaignOptions the
+	// runner applies (zero values defer to the engine defaults; ThrottleMS
+	// is the per-job resume-drill delay).
+	Workers    int `json:"workers,omitempty"`
+	Retries    int `json:"retries,omitempty"`
+	ThrottleMS int `json:"throttle_ms,omitempty"`
+	// TotalJobs is the campaign's job count across all specs, fixed at
+	// submission (specs are pure data, so the expansion never changes).
+	TotalJobs int `json:"total_jobs"`
+	// State is the lifecycle position as of the last persisted transition.
+	State State `json:"state"`
+	// Error describes why a failed or canceled campaign stopped.
+	Error string `json:"error,omitempty"`
+	// DoneJobs is the journaled-row count at the last persisted transition;
+	// the live count is served by the status endpoint while running.
+	DoneJobs int `json:"done_jobs"`
+}
+
+const metaFile = "meta.json"
+
+// writeMeta persists m under dir durably: written to a temp file, fsynced,
+// renamed over meta.json, and the directory fsynced — a kill at any point
+// leaves either the old record or the new one, never a torn mixture.
+func writeMeta(dir string, m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("daemon: encode campaign %s meta: %w", m.ID, err)
+	}
+	tmp := filepath.Join(dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("daemon: write campaign %s meta: %w", m.ID, err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("daemon: write campaign %s meta: %w", m.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("daemon: sync campaign %s meta: %w", m.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("daemon: close campaign %s meta: %w", m.ID, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
+		return fmt.Errorf("daemon: commit campaign %s meta: %w", m.ID, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readMeta loads the durable record under dir.
+func readMeta(dir string) (Meta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return Meta{}, fmt.Errorf("daemon: read campaign meta: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, fmt.Errorf("daemon: decode campaign meta %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// scanCampaigns loads every persisted campaign under root (the daemon's
+// campaigns directory), sorted by ID, and reports the highest numeric ID
+// suffix seen so new submissions continue the sequence across restarts.
+// A directory without a readable meta.json is an error — the queue must
+// not silently forget a campaign that was acknowledged as durable.
+func scanCampaigns(root string) ([]Meta, int, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("daemon: scan campaigns: %w", err)
+	}
+	var metas []Meta
+	maxID := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := readMeta(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, 0, err
+		}
+		if m.ID != e.Name() {
+			return nil, 0, fmt.Errorf("daemon: campaign directory %s holds meta for %q", e.Name(), m.ID)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(m.ID, "c")); err == nil && n > maxID {
+			maxID = n
+		}
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ID < metas[j].ID })
+	return metas, maxID, nil
+}

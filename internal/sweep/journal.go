@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -16,6 +19,15 @@ import (
 // Options.Done and recomputes only what is missing. The journal is
 // append-only and idempotent by job key: a key is written at most once per
 // campaign, and re-running a finished campaign with resume writes nothing.
+//
+// Durability convention: a row's trailing newline is its commit marker. A
+// kill can land mid-write, leaving a torn tail — any final bytes not ending
+// in '\n', or a final line that does not parse as a Result. Torn bytes are
+// never data: ReadJournal ignores them and OpenJournal(resume) truncates
+// them before appending, so the job behind a torn row simply re-runs and
+// re-appends. Without the truncation a fresh append would concatenate onto
+// the torn fragment and manufacture a mid-file unparseable line that no
+// later resume could ever forgive.
 type Journal struct {
 	mu sync.Mutex
 	f  *os.File
@@ -34,12 +46,16 @@ func (j *Journal) Observe(col *obs.Collector) {
 }
 
 // OpenJournal opens the journal at path. With resume, existing rows are
-// kept and new rows append after them; otherwise the file is truncated and
-// the campaign starts from zero.
+// kept — after any torn tail left by a mid-append kill is truncated away —
+// and new rows append after them; otherwise the file is truncated and the
+// campaign starts from zero.
 func OpenJournal(path string, resume bool) (*Journal, error) {
 	flags := os.O_CREATE | os.O_WRONLY
 	if resume {
 		flags |= os.O_APPEND
+		if err := truncateTornTail(path); err != nil {
+			return nil, err
+		}
 	} else {
 		flags |= os.O_TRUNC
 	}
@@ -48,6 +64,64 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
 	return &Journal{f: f}, nil
+}
+
+// truncateTornTail removes a torn tail before a resume appends to the file:
+// everything after the last committed row (the last newline-terminated line
+// that is blank or parses as a keyed Result) is cut. Committed rows are
+// never touched — mid-file corruption is left in place for ReadJournal's
+// audit to report loudly rather than silently amputated. The truncation is
+// fsynced so a kill immediately after the repair cannot resurrect the tail.
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("sweep: repair journal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var size, cleanEnd int64
+	for {
+		line, err := br.ReadBytes('\n')
+		size += int64(len(line))
+		if terminated := len(line) > 0 && line[len(line)-1] == '\n'; terminated {
+			if trimmed := bytes.TrimSpace(line); len(trimmed) == 0 || parseRow(trimmed) == nil {
+				cleanEnd = size
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("sweep: repair journal %s: %w", path, err)
+		}
+	}
+	if cleanEnd == size {
+		return nil
+	}
+	if err := f.Truncate(cleanEnd); err != nil {
+		return fmt.Errorf("sweep: truncate torn journal tail %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync repaired journal %s: %w", path, err)
+	}
+	return nil
+}
+
+// parseRow decodes one journal line into a Result, requiring the job key
+// that makes the row addressable; it reports nil on success. It is the
+// single definition of "valid row" shared by the reader and the repair.
+func parseRow(line []byte) error {
+	var r Result
+	if err := json.Unmarshal(line, &r); err != nil {
+		return err
+	}
+	if r.Key == "" {
+		return errors.New("row has no job key")
+	}
+	return nil
 }
 
 // Append writes one completed result and syncs it to stable storage, so a
@@ -80,39 +154,61 @@ func (j *Journal) Close() error {
 
 // ReadJournal loads a journal's completed results keyed by job key — the
 // Options.Done input of a resumed run. A missing file is an empty journal.
-// A torn final line (the process was killed mid-append) is dropped: its job
-// simply re-runs. Anything else malformed, and any duplicated job key, is
-// an error — a duplicate means some job executed twice, which the resume
-// contract forbids, so the audit fails loudly rather than silently keeping
-// either row.
+//
+// The file is streamed line by line, so resume memory is bounded by one row
+// regardless of journal size (and rows longer than any fixed scanner token
+// cap read fine). A torn tail from a mid-append kill — the last non-empty
+// line failing to parse, wherever bytes.Split-style accounting would have
+// placed it relative to a trailing newline, or any final unterminated
+// bytes — is dropped: its job simply re-runs. Anything malformed that is
+// *followed* by more data, and any duplicated job key, is an error — a
+// duplicate means some job executed twice, which the resume contract
+// forbids, so the audit fails loudly rather than silently keeping either
+// row.
 func ReadJournal(path string) (map[string]Result, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return map[string]Result{}, nil
 		}
 		return nil, fmt.Errorf("sweep: read journal: %w", err)
 	}
+	defer f.Close()
+
 	done := make(map[string]Result)
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
+	br := bufio.NewReader(f)
+	lineNo := 0
+	// A parse failure is only forgivable if nothing non-empty follows it —
+	// i.e. it is the journal's last non-empty line, hence a torn tail. The
+	// error is held here until a later line proves it mid-file.
+	var torn error
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, fmt.Errorf("sweep: read journal %s: %w", path, rerr)
 		}
-		var r Result
-		if err := json.Unmarshal(line, &r); err != nil {
-			if i == len(lines)-1 {
-				break // torn tail from a mid-append kill; the job re-runs
+		lineNo++
+		terminated := len(line) > 0 && line[len(line)-1] == '\n'
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			if torn != nil {
+				return nil, torn // the torn line was not the tail after all
 			}
-			return nil, fmt.Errorf("sweep: journal %s line %d: %w", path, i+1, err)
+			var r Result
+			switch {
+			case !terminated:
+				// Unterminated final bytes never committed (the newline is
+				// the commit marker): torn tail, dropped.
+			case json.Unmarshal(trimmed, &r) != nil || r.Key == "":
+				torn = fmt.Errorf("sweep: journal %s line %d: %v", path, lineNo, parseRow(trimmed))
+			default:
+				if _, dup := done[r.Key]; dup {
+					return nil, fmt.Errorf("sweep: journal %s line %d: job %s appears twice — some job was executed twice", path, lineNo, r.Key)
+				}
+				done[r.Key] = r
+			}
 		}
-		if r.Key == "" {
-			return nil, fmt.Errorf("sweep: journal %s line %d has no job key", path, i+1)
+		if errors.Is(rerr, io.EOF) {
+			return done, nil
 		}
-		if _, dup := done[r.Key]; dup {
-			return nil, fmt.Errorf("sweep: journal %s line %d: job %s appears twice — some job was executed twice", path, i+1, r.Key)
-		}
-		done[r.Key] = r
 	}
-	return done, nil
 }

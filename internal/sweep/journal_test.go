@@ -1,8 +1,11 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -177,4 +180,303 @@ func TestCampaignKillAndResumeByteIdentical(t *testing.T) {
 	if len(final) != 15 {
 		t.Fatalf("final journal holds %d rows, want 15", len(final))
 	}
+}
+
+// The satellite-1 regression: a mid-append kill leaves a torn fragment; a
+// resume must truncate it before appending, or the fresh row concatenates
+// onto the fragment and manufactures a mid-file unparseable line that every
+// later resume rejects. The drill is two full kill → resume cycles: the
+// journal must stay byte-identical to a never-killed one throughout.
+func TestOpenJournalResumeTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	rowA := Result{Key: "a", Proto: "p", N: 5, Rounds: 3}
+	rowB := Result{Key: "b", Proto: "p", N: 5, Trial: 1, Rounds: 4}
+	rowC := Result{Key: "c", Proto: "p", N: 5, Trial: 2, Rounds: 5}
+
+	append1 := func(r Result) {
+		t.Helper()
+		j, err := OpenJournal(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tearTail := func(fragment string) {
+		t.Helper()
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(fragment); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean := func(want ...Result) string {
+		t.Helper()
+		var sb strings.Builder
+		for _, r := range want {
+			data, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	append1(rowA)
+	tearTail(`{"key":"b","pro`) // kill #1 lands mid-append
+	append1(rowB)               // resume #1 must repair, then append
+	if data, err := os.ReadFile(path); err != nil || string(data) != clean(rowA, rowB) {
+		t.Fatalf("after resume 1 journal is not clean (%v):\n%q\nwant\n%q", err, data, clean(rowA, rowB))
+	}
+	tearTail(`{"key":"c","proto":"p","n":5,`) // kill #2
+	append1(rowC)                             // resume #2
+	if data, err := os.ReadFile(path); err != nil || string(data) != clean(rowA, rowB, rowC) {
+		t.Fatalf("after resume 2 journal is not clean (%v):\n%q\nwant\n%q", err, data, clean(rowA, rowB, rowC))
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 || done["a"] != rowA || done["b"] != rowB || done["c"] != rowC {
+		t.Fatalf("audit after two kill/resume cycles = %+v, %v", done, err)
+	}
+}
+
+// An unterminated final line that happens to parse is still torn — the
+// trailing newline is the commit marker. Keeping it as done while the next
+// append concatenates onto it would both corrupt the file and lose the row,
+// so both the reader and the resume repair drop it and let the job re-run.
+func TestJournalUnterminatedParseableTailIsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"key":"a","proto":"p","n":5,"rounds":3}` + "\n" + `{"key":"b","proto":"p","n":5,"rounds":4}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done["a"].Rounds != 3 {
+		t.Fatalf("uncommitted tail not dropped: %+v", done)
+	}
+	j, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowB := Result{Key: "b", Proto: "p", N: 5, Rounds: 4}
+	if err := j.Append(rowB); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done, err = ReadJournal(path)
+	if err != nil || len(done) != 2 || done["b"] != rowB {
+		t.Fatalf("after repair+append: %+v, %v", done, err)
+	}
+}
+
+// The satellite-2 table test: every torn-write prefix of a valid row —
+// including the lengths where the fragment ends in a newline byte, which
+// puts it at len(lines)-2 under bytes.Split accounting — must read as a
+// dropped tail, never as a mid-file error.
+func TestReadJournalTornPrefixTable(t *testing.T) {
+	first := `{"key":"a","proto":"p","n":5,"rounds":3}` + "\n"
+	// Err carries an escaped newline so the marshaled buffer itself is an
+	// interesting boundary; the fragment "...unresolved\" + '\n'" is the
+	// off-by-trailing-newline shape the old i==len(lines)-1 check missed.
+	full, err := json.Marshal(Result{Key: "b", Proto: "p", N: 5, Trial: 1, Rounds: -1, Failed: true, Err: "unresolved"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full = append(full, '\n')
+	for k := 0; k <= len(full); k++ {
+		content := first + string(full[:k])
+		// A fragment that is itself a complete committed row is not torn.
+		complete := k == len(full)
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		done, err := ReadJournal(path)
+		if err != nil {
+			t.Fatalf("prefix %d/%d: ReadJournal: %v", k, len(full), err)
+		}
+		want := 1
+		if complete {
+			want = 2
+		}
+		if len(done) != want || done["a"].Rounds != 3 {
+			t.Fatalf("prefix %d/%d: got %d rows %+v, want %d", k, len(full), len(done), done, want)
+		}
+		// The resume repair agrees with the reader: after truncation and a
+		// fresh append the journal is byte-clean.
+		j, err := OpenJournal(path, true)
+		if err != nil {
+			t.Fatalf("prefix %d/%d: open: %v", k, len(full), err)
+		}
+		rowC := Result{Key: "c", Proto: "p", N: 5, Trial: 2, Rounds: 9}
+		if err := j.Append(rowC); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		done, err = ReadJournal(path)
+		if err != nil {
+			t.Fatalf("prefix %d/%d: audit after repair+append: %v", k, len(full), err)
+		}
+		if len(done) != want+1 || done["c"] != rowC {
+			t.Fatalf("prefix %d/%d: after repair+append got %+v", k, len(full), done)
+		}
+	}
+}
+
+// A torn fragment that ends in a newline is forgiven only as the last
+// non-empty line; the same fragment mid-file stays a loud error.
+func TestReadJournalTornLineWithTrailingNewline(t *testing.T) {
+	good := `{"key":"a","proto":"p","n":5,"rounds":3}` + "\n"
+	torn := `{"key":"b","pro` + "\n"
+	tail := filepath.Join(t.TempDir(), "tail.jsonl")
+	if err := os.WriteFile(tail, []byte(good+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := ReadJournal(tail)
+	if err != nil || len(done) != 1 {
+		t.Fatalf("newline-terminated torn tail must be forgiven: %+v, %v", done, err)
+	}
+	mid := filepath.Join(t.TempDir(), "mid.jsonl")
+	if err := os.WriteFile(mid, []byte(torn+good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(mid); err == nil {
+		t.Fatal("the same torn line mid-file must fail the audit")
+	}
+}
+
+// The satellite-3 equivalence check: the streaming reader must agree with a
+// slurp-and-split loader on a well-formed journal — including rows far past
+// bufio.Scanner's 64KB default token cap, which is why the reader must not
+// be a Scanner.
+func TestReadJournalStreamingMatchesSlurp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Result
+	for i := 0; i < 50; i++ {
+		r := Result{Key: fmt.Sprintf("job-%03d", i), Proto: "p", N: i + 1, Trial: i, Rounds: i * 3}
+		if i == 17 {
+			// One row whose line is ~128KB: twice the scanner token cap.
+			r.Failed, r.Rounds = true, -1
+			r.Err = strings.Repeat("x", 128<<10)
+		}
+		want = append(want, r)
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference loader: the pre-streaming semantics on a clean file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[string]Result)
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		ref[r.Key] = r
+	}
+	if len(got) != len(ref) || len(got) != len(want) {
+		t.Fatalf("streaming read %d rows, slurp %d, appended %d", len(got), len(ref), len(want))
+	}
+	for _, r := range want {
+		if got[r.Key] != ref[r.Key] || got[r.Key] != r {
+			t.Fatalf("row %s differs: stream %+v slurp %+v", r.Key, got[r.Key], ref[r.Key])
+		}
+	}
+}
+
+// The campaign-level repro from the issue: kill mid-append, resume, kill
+// again, resume again — the journal must pass the audit and the final
+// output must match an uninterrupted campaign.
+func TestCampaignResumeAfterTornTail(t *testing.T) {
+	spec := Spec{Name: "torn-drill", Proto: "torn-drill", Sizes: []int{4, 6}, Trials: 3, Horizon: 3, Seed: 5}
+	Register("torn-drill", func(_ context.Context, job Job) (Result, error) {
+		return Result{Rounds: int(uint64(job.Seed) % 53)}, nil
+	})
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	ref, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 1, JournalPath: refPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "j.jsonl")
+	for _, kill := range []int{2, 4} { // two kill/resume cycles
+		_, err := RunCampaign(context.Background(), spec, CampaignOptions{
+			Workers: 1, JournalPath: path, Resume: true, MaxJobs: kill - countRows(t, path),
+		})
+		if !errors.Is(err, ErrJobLimit) {
+			t.Fatalf("drill kill: want ErrJobLimit, got %v", err)
+		}
+		// The kill lands mid-append: a torn fragment after the last row.
+		f, ferr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if _, err := f.WriteString(`{"key":"torn-drill/se`); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fin, err := RunCampaign(context.Background(), spec, CampaignOptions{Workers: 1, JournalPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatTable(fin.Stats), FormatTable(ref.Stats); got != want {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", got, want)
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(ref.Results) {
+		t.Fatalf("final journal holds %d rows, want %d", len(done), len(ref.Results))
+	}
+}
+
+func countRows(t *testing.T, path string) int {
+	t.Helper()
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(done)
 }
