@@ -11,8 +11,11 @@
 //	anondyn -algo histtree -n 100              # history-tree counter, cycle
 //	anondyn -algo histtree -adversary churn    # same, fair random churn
 //	anondyn -algo leaderstate -n 40            # the paper's counter vs worst case
-//	anondyn -algo oracle -n 40                 # degree-oracle O(1) counter
+//	anondyn -algo oracle -n 40                 # layout-fed degree-oracle counter
+//	anondyn -algo degreeoracle -n 40           # role-discovering O(1) counter
 //	anondyn -algo star -n 40                   # one-round star counter
+//	anondyn -algo histtree -adversary tinterval -n 20   # stability windows
+//	anondyn -algo pushsum -adversary joinleave -n 20    # join/leave churn
 //	anondyn -algo pushsum -n 40 -seed 7        # gossip estimate, fair churn
 //	anondyn -algo chain -n 40 -chain 5         # Corollary 1 end to end
 //	anondyn -algo star -n 40 -engine sharded   # same, on the sharded engine
@@ -61,23 +64,48 @@ var legacyAlgos = []string{"chain", "anonymous", "unconscious"}
 // quadratically in n (measured: n=12→k=27, n=16→54, n=20→92, n=24→141),
 // so cycles outgrow the IncrementalRounds(3n) budget from n≈16 on.
 var defaultAdversary = map[string]string{
-	"histtree":    "cycle",
-	"idcount":     "cycle",
-	"incremental": "worstcase",
-	"leaderstate": "worstcase",
-	"upperbound":  "restricted",
-	"oracle":      "restricted",
-	"star":        "star",
-	"pushsum":     "churn",
+	"histtree":     "cycle",
+	"idcount":      "cycle",
+	"incremental":  "worstcase",
+	"leaderstate":  "worstcase",
+	"upperbound":   "restricted",
+	"oracle":       "restricted",
+	"degreeoracle": "restricted",
+	"star":         "star",
+	"pushsum":      "churn",
 }
 
-var adversaryNames = []string{"worstcase", "cycle", "star", "churn", "restricted", "flooddelay"}
+var adversaryNames = []string{"worstcase", "cycle", "star", "churn", "restricted", "flooddelay", "tinterval", "joinleave", "randomized"}
+
+// compatibleFamilies probes each adversary family with a tiny instance and
+// returns, per algorithm, the families its Requirements accept — so -help
+// answers "what can I run this on" from the registry itself rather than a
+// hand-maintained table that would drift.
+func compatibleFamilies() map[string][]string {
+	probes := make(map[string]*counting.Instance, len(adversaryNames))
+	for _, fam := range adversaryNames {
+		if inst, err := buildInstance(fam, 4, 1); err == nil {
+			probes[fam] = inst
+		}
+	}
+	out := make(map[string][]string)
+	for _, a := range counting.Registry() {
+		for _, fam := range adversaryNames {
+			if inst := probes[fam]; inst != nil && a.Requires.Validate(inst) == nil {
+				out[a.Name] = append(out[a.Name], fam)
+			}
+		}
+	}
+	return out
+}
 
 func algoUsage() string {
 	var b strings.Builder
 	b.WriteString("counting algorithm; registry entries:\n")
+	compat := compatibleFamilies()
 	for _, a := range counting.Registry() {
 		fmt.Fprintf(&b, "    \t%-12s %s — %s\n", a.Name, a.Semantics, a.Doc)
+		fmt.Fprintf(&b, "    \t%-12s   adversaries: %s\n", "", strings.Join(compat[a.Name], " "))
 	}
 	fmt.Fprintf(&b, "    \tlegacy: %s", strings.Join(legacyAlgos, " | "))
 	return b.String()
@@ -154,6 +182,12 @@ func buildInstance(adversary string, n int, seed int64) (*counting.Instance, err
 		return counting.RestrictedPD2Instance(n)
 	case "flooddelay":
 		return counting.FloodDelayInstance(n)
+	case "tinterval":
+		return counting.TIntervalInstance(n, 3, seed)
+	case "joinleave":
+		return counting.JoinLeaveInstance(n, seed)
+	case "randomized":
+		return counting.RandomizedInstance(n, seed)
 	default:
 		return nil, cli.Usagef("unknown adversary %q (want %s)", adversary, strings.Join(adversaryNames, " | "))
 	}

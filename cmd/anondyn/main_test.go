@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"anondyn/internal/cli"
+	"anondyn/internal/counting"
 )
 
 // capture runs the CLI's run() with stdout redirected to a temp file and
@@ -226,6 +227,92 @@ func TestErrorsAndUsage(t *testing.T) {
 		if got := cli.ExitCode(err); got != cli.ExitUsage {
 			t.Fatalf("args %v: exit code %d, want %d (usage)", args, got, cli.ExitUsage)
 		}
+	}
+}
+
+// TestAlgoUsageGolden pins the -help algorithm listing, including the
+// registry-derived per-algorithm adversary compatibility lines. Regenerate
+// with UPDATE_GOLDEN=1 go test ./cmd/anondyn/ after intentional changes.
+func TestAlgoUsageGolden(t *testing.T) {
+	got := algoUsage() + "\n"
+	golden := filepath.Join("testdata", "algo_usage.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if got != string(want) {
+		t.Errorf("algoUsage drifted from the golden file (regenerate with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The structural claims behind the golden file, asserted directly so a
+	// regenerated file cannot silently drop them: every registry algorithm
+	// appears with a non-empty adversary list, and the new families appear
+	// where the registry accepts them.
+	compat := compatibleFamilies()
+	for _, name := range counting.Names() {
+		if len(compat[name]) == 0 {
+			t.Errorf("algorithm %s lists no compatible adversaries", name)
+		}
+	}
+	for algo, fam := range map[string]string{
+		"histtree":     "tinterval",
+		"pushsum":      "joinleave",
+		"idcount":      "randomized",
+		"degreeoracle": "restricted",
+	} {
+		if !strings.Contains(strings.Join(compat[algo], " "), fam) {
+			t.Errorf("%s compatibility %v misses family %s", algo, compat[algo], fam)
+		}
+	}
+}
+
+func TestDegreeOracleCommand(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "degreeoracle", "-n", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 23 nodes in 4 round(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestNewAdversaryFlags(t *testing.T) {
+	out, err := capture(t, []string{"-algo", "histtree", "-n", "12", "-adversary", "tinterval", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 12 nodes") || !strings.Contains(out, "tinterval3-12-seed5") {
+		t.Fatalf("output:\n%s", out)
+	}
+	out, err = capture(t, []string{"-algo", "histtree", "-n", "9", "-adversary", "randomized", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counted 9 nodes") || !strings.Contains(out, "randomized-9-seed2") {
+		t.Fatalf("output:\n%s", out)
+	}
+	out, err = capture(t, []string{"-algo", "pushsum", "-n", "10", "-adversary", "joinleave", "-seed", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "joinleave-10-seed4") || !strings.Contains(out, "estimate") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Churn-isolating families are rejected for connectivity-requiring
+	// algorithms with the declared property named.
+	_, err = capture(t, []string{"-algo", "histtree", "-n", "10", "-adversary", "joinleave"})
+	if err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("histtree on joinleave: %v, want churn rejection", err)
+	}
+	if got := cli.ExitCode(err); got != cli.ExitUsage {
+		t.Fatalf("histtree on joinleave: exit code %d, want %d", got, cli.ExitUsage)
 	}
 }
 

@@ -47,7 +47,10 @@ func TestRunZooSmokeSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, proto := range []string{"zoo-histtree", "zoo-idcount", "zoo-incremental", "zoo-leaderstate", "zoo-upperbound"} {
+	for _, proto := range []string{
+		"zoo-histtree", "zoo-idcount", "zoo-incremental", "zoo-leaderstate", "zoo-upperbound",
+		"zoo-degreeoracle", "zoo-tinterval", "zoo-joinleave", "zoo-randomized",
+	} {
 		if !strings.Contains(out, proto) {
 			t.Fatalf("combined table missing %s:\n%s", proto, out)
 		}
@@ -56,8 +59,8 @@ func TestRunZooSmokeSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != 10 { // 5 campaigns × 2 sizes × 1 trial
-		t.Fatalf("shared journal holds %d rows, want 10", len(done))
+	if len(done) != 18 { // 9 campaigns × 2 sizes × 1 trial
+		t.Fatalf("shared journal holds %d rows, want 18", len(done))
 	}
 }
 

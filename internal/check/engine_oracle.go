@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"anondyn/internal/dynet"
 	"anondyn/internal/runtime"
 )
 
@@ -54,33 +55,48 @@ func reverseString(s string) string {
 }
 
 // shardedEngineOracle is the differential check for the sharded worker-pool
-// engine: on the Lemma-1 transformation of a random schedule, RunSharded
-// over the CSR-native network must reproduce RunSequential's execution
-// trace-for-trace at every shard count — same round count, same per-node
-// state after every round. This exercises both halves of the scale path at
-// once: the sharded round loop (census merge, counting-sort placement,
-// per-shard delivery) and the PD2Net CSR snapshots it consumes.
+// engine: RunSharded must reproduce RunSequential's execution trace-for-trace
+// at every shard count — same round count, same per-node state after every
+// round. Half the draws are the Lemma-1 transformation of a random schedule
+// (exercising the CSR-native PD2Net snapshots), the other half are dynet
+// adversary families — T-interval, churn, randomized — which reach the
+// sharded engine through its map-graph fallback.
 func shardedEngineOracle() *Oracle {
 	return &Oracle{
 		Name: "sharded-engine",
-		Doc:  "RunSharded on the CSR transform matches RunSequential trace-for-trace at every shard count",
+		Doc:  "RunSharded matches RunSequential trace-for-trace on CSR transforms and adversary families",
 		Gen: func(rng *rand.Rand) (*Instance, error) {
+			if rng.Intn(2) == 0 {
+				return genFamily(rng, "")
+			}
 			return genSchedule(rng, 10, 4)
 		},
 		Check: func(inst *Instance, sys *System) error {
-			m := inst.M
-			seqNet, _, err := m.ToPD2()
-			if err != nil {
-				return err
-			}
-			csrNet, _, err := m.ToPD2CSR()
-			if err != nil {
-				return err
+			var seqNet, shNet dynet.Dynamic
+			var rounds int
+			if inst.Fam != nil {
+				d, _, err := buildFamilyNet(inst.Fam, sys)
+				if err != nil {
+					return err
+				}
+				seqNet, shNet = d, d
+				rounds = inst.Fam.Rounds
+			} else {
+				m := inst.M
+				var err error
+				seqNet, _, err = m.ToPD2()
+				if err != nil {
+					return err
+				}
+				shNet, _, err = m.ToPD2CSR()
+				if err != nil {
+					return err
+				}
+				// One round past the horizon exercises the repeat-final-round
+				// clamp on both transforms.
+				rounds = m.Horizon() + 1
 			}
 			n := seqNet.N()
-			// One round past the horizon exercises the repeat-final-round
-			// clamp on both transforms.
-			rounds := m.Horizon() + 1
 			seqProcs := newTraceProcs(n)
 			seqRounds, err := sys.EngineSeq(&runtime.Config{
 				Net: seqNet, Procs: seqProcs, MaxRounds: rounds, Canon: traceCanon,
@@ -91,7 +107,7 @@ func shardedEngineOracle() *Oracle {
 			for _, shards := range []int{1, 2, 5} {
 				procs := newTraceProcs(n)
 				shRounds, err := sys.EngineSharded(&runtime.Config{
-					Net: csrNet, Procs: procs, MaxRounds: rounds, Canon: traceCanon, Shards: shards,
+					Net: shNet, Procs: procs, MaxRounds: rounds, Canon: traceCanon, Shards: shards,
 				})
 				if err != nil {
 					return fmt.Errorf("sharded (%d shards): %w", shards, err)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"anondyn/internal/core"
+	"anondyn/internal/dynet"
 	"anondyn/internal/linalg"
 	"anondyn/internal/multigraph"
 )
@@ -31,6 +32,29 @@ type Instance struct {
 	// Mat is the integer matrix for the linalg-fastpath oracle. Only set
 	// for matrix instances (M then holds a trivial placeholder schedule).
 	Mat *linalg.Matrix
+	// Fam is the adversary-family parameter block for the dynet oracles.
+	// Only set for family instances (M then holds a trivial placeholder
+	// schedule).
+	Fam *FamilyCase
+}
+
+// FamilyCase parameterizes one dynet adversary-family draw. The oracles
+// rebuild the network from these parameters through the System hooks, so a
+// mutant can interpose on the construction itself.
+type FamilyCase struct {
+	// Kind is "tinterval", "churn", or "randomized".
+	Kind string
+	// N is the slot count; T the stability window (tinterval only); Core
+	// and Dwell the stable-core size and stint length (churn only).
+	N, T, Core, Dwell int
+	// Policy is the churn rejoin policy (churn only).
+	Policy dynet.RejoinPolicy
+	// P is the extra-edge probability.
+	P float64
+	// Seed is the deterministic schedule seed.
+	Seed int64
+	// Rounds is how far the oracle verifies the family's properties.
+	Rounds int
 }
 
 // String renders the instance compactly for failure reports. The schedule is
@@ -48,6 +72,18 @@ func (inst *Instance) String() string {
 		if inst.Mat.Rows()*inst.Mat.Cols() <= 36 {
 			fmt.Fprintf(&sb, " %s", inst.Mat)
 		}
+		return sb.String()
+	}
+	if inst.Fam != nil {
+		f := inst.Fam
+		fmt.Fprintf(&sb, " fam=%s(n=%d", f.Kind, f.N)
+		switch f.Kind {
+		case "tinterval":
+			fmt.Fprintf(&sb, " T=%d", f.T)
+		case "churn":
+			fmt.Fprintf(&sb, " core=%d dwell=%d policy=%s", f.Core, f.Dwell, f.Policy)
+		}
+		fmt.Fprintf(&sb, " p=%.2f seed=%d rounds=%d)", f.P, f.Seed, f.Rounds)
 		return sb.String()
 	}
 	if inst.M.W()*inst.M.Horizon() <= 64 {
@@ -238,10 +274,26 @@ func genPair(rng *rand.Rand, maxW, maxRounds int) (*Instance, error) {
 	return buildPair(n, rounds, rng.Intn(3))
 }
 
-// buildPair constructs the extended pair instance for exact parameters; the
-// shrinker uses it to propose smaller pairs.
-func buildPair(n, rounds, delay int) (*Instance, error) {
-	pair, err := core.IndistinguishablePair(n, rounds)
+// pairKRoundCaps bounds the sustained-rounds draw per alphabet size so the
+// (2^k−1)^rounds history space stays enumerable: 27 histories at the k=2 cap,
+// 49 at k=3, 15 at k=4.
+var pairKRoundCaps = map[int]int{2: 3, 3: 2, 4: 1}
+
+// genPairK draws a general-k Lemma-5 pair: alphabet size k ∈ {2,3,4}, rounds
+// up to the per-k cap, and the smallest sustaining size plus a small excess —
+// general-k sizes grow like ((2^k−1)^rounds)/2, so biasing toward the
+// threshold keeps instances small while still crossing it.
+func genPairK(rng *rand.Rand) (*Instance, error) {
+	k := rng.Intn(3) + 2
+	rounds := rng.Intn(pairKRoundCaps[k]) + 1
+	n := core.MinSizeForRoundsK(rounds, k) + rng.Intn(8)
+	return buildPairK(n, rounds, k, rng.Intn(3))
+}
+
+// buildPairK constructs the extended general-k pair instance for exact
+// parameters; the shrinker uses it to propose smaller pairs.
+func buildPairK(n, rounds, k, delay int) (*Instance, error) {
+	pair, err := core.IndistinguishablePairK(n, rounds, k)
 	if err != nil {
 		return nil, err
 	}
@@ -250,4 +302,98 @@ func buildPair(n, rounds, delay int) (*Instance, error) {
 		return nil, err
 	}
 	return &Instance{M: ext.M, Twin: ext.MPrime, EqRounds: rounds, Delay: delay}, nil
+}
+
+// buildPair is the k=2 special case retained for the k=2-only oracles.
+func buildPair(n, rounds, delay int) (*Instance, error) {
+	return buildPairK(n, rounds, 2, delay)
+}
+
+// placeholderSchedule is the trivial one-node schedule carried by instances
+// whose payload lives outside M (matrices, family cases).
+func placeholderSchedule() (*multigraph.Multigraph, error) {
+	return multigraph.New(2, [][]multigraph.LabelSet{{multigraph.SetOf(1)}})
+}
+
+// familyKinds is the draw order for unpinned genFamily calls.
+var familyKinds = []string{"tinterval", "churn", "randomized"}
+
+// genFamily draws one dynet adversary-family case of the given kind (or a
+// random kind when kind is empty). Sizes are small (the property verifier
+// BFS-scans every round) but cover the degenerate shapes: n=1, core=n,
+// dwell=1, window=1, and p at both extremes.
+func genFamily(rng *rand.Rand, kind string) (*Instance, error) {
+	placeholder, err := placeholderSchedule()
+	if err != nil {
+		return nil, err
+	}
+	if kind == "" {
+		kind = familyKinds[rng.Intn(len(familyKinds))]
+	}
+	f := &FamilyCase{
+		Kind: kind,
+		N:    rng.Intn(14) + 1,
+		P:    float64(rng.Intn(5)) * 0.1,
+		Seed: int64(rng.Int31()),
+	}
+	switch kind {
+	case "tinterval":
+		f.T = rng.Intn(5) + 1
+		f.Rounds = 3*f.T + rng.Intn(4) + 1
+	case "churn":
+		f.Core = rng.Intn(f.N) + 1
+		f.Dwell = rng.Intn(4) + 1
+		f.Policy = dynet.RejoinCycle
+		if rng.Intn(2) == 0 {
+			f.Policy = dynet.RejoinNever
+		}
+		f.Rounds = 4*f.Dwell + rng.Intn(4) + 1
+	case "randomized":
+		f.Rounds = rng.Intn(12) + 4
+	default:
+		return nil, fmt.Errorf("check: unknown family kind %q", kind)
+	}
+	return &Instance{M: placeholder, Fam: f}, nil
+}
+
+// buildFamilyNet constructs the dynamic network for a family case through the
+// System hooks (so mutants can interpose) and returns it with the declared
+// properties the family promises.
+func buildFamilyNet(f *FamilyCase, sys *System) (dynet.Dynamic, dynet.Properties, error) {
+	switch f.Kind {
+	case "tinterval":
+		d, err := sys.NewTInterval(f.N, f.T, f.P, f.Seed)
+		if err != nil {
+			return nil, dynet.Properties{}, err
+		}
+		props := dynet.Properties{
+			IntervalConnected: true,
+			StabilityWindow:   f.T,
+			SeedDeterministic: true,
+		}
+		if pc, ok := d.(dynet.PropertyCarrier); ok {
+			props = pc.Properties()
+		}
+		return d, props, nil
+	case "churn":
+		d, err := sys.NewChurn(f.N, f.Core, f.Dwell, f.Policy, f.P, f.Seed)
+		if err != nil {
+			return nil, dynet.Properties{}, err
+		}
+		props := dynet.Properties{
+			LiveAccounting:    true,
+			SeedDeterministic: true,
+		}
+		if pc, ok := d.(dynet.PropertyCarrier); ok {
+			props = pc.Properties()
+		}
+		return d, props, nil
+	case "randomized":
+		d, err := dynet.NewRandomized(f.N, f.P, f.Seed)
+		if err != nil {
+			return nil, dynet.Properties{}, err
+		}
+		return d, d.Properties(), nil
+	}
+	return nil, dynet.Properties{}, fmt.Errorf("check: unknown family kind %q", f.Kind)
 }

@@ -58,6 +58,10 @@ func Oracles() []*Oracle {
 		linalgFastpathOracle(),
 		shardedEngineOracle(),
 		histTreeCountOracle(),
+		tIntervalWindowOracle(),
+		churnConserveOracle(),
+		mdblkPairOracle(),
+		degreeOracleCountOracle(),
 	}
 }
 
@@ -451,9 +455,10 @@ func flipLabel(inst *Instance, rng *rand.Rand, twin bool) {
 	r := rng.Intn(limit)
 	labels := scheduleOf(m)
 	old := labels[v][r]
-	// LabelSet values for k = 2 are 1..3 and SymbolFromIndex(i) = i+1, so the
-	// index of old is int(old)-1; step to a different symbol.
-	labels[v][r] = multigraph.SymbolFromIndex((int(old) + rng.Intn(2)) % 3)
+	// LabelSet values for alphabet k are 1..2^k−1 and SymbolFromIndex(i) is
+	// i+1, so the index of old is int(old)-1; step to a different symbol.
+	symbols := multigraph.SymbolCount(m.K())
+	labels[v][r] = multigraph.SymbolFromIndex((int(old) + rng.Intn(symbols-1)) % symbols)
 	nm, err := multigraph.New(m.K(), labels)
 	if err != nil {
 		return

@@ -60,18 +60,21 @@ func shrinkCandidates(inst *Instance) []*Instance {
 	if inst.Mat != nil {
 		return shrinkMatrixCandidates(inst)
 	}
+	if inst.Fam != nil {
+		return shrinkFamilyCandidates(inst)
+	}
 	if inst.Twin != nil {
-		n, r := inst.M.W(), inst.EqRounds
+		n, r, k := inst.M.W(), inst.EqRounds, inst.M.K()
 		if r > 1 {
-			add(buildPair(n, r-1, inst.Delay))
+			add(buildPairK(n, r-1, k, inst.Delay))
 		}
 		for _, smaller := range []int{n / 2, n - 1} {
-			if smaller >= 1 && smaller < n && r <= core.MaxIndistinguishableRounds(smaller) {
-				add(buildPair(smaller, r, inst.Delay))
+			if smaller >= 1 && smaller < n && r <= core.MaxIndistinguishableRoundsK(smaller, k) {
+				add(buildPairK(smaller, r, k, inst.Delay))
 			}
 		}
 		if inst.Delay > 0 {
-			add(buildPair(n, r, 0))
+			add(buildPairK(n, r, k, 0))
 		}
 		return out
 	}
@@ -110,6 +113,47 @@ func shrinkCandidates(inst *Instance) []*Instance {
 	// Shorter chain.
 	if inst.Delay > 0 {
 		add(&Instance{M: m, Delay: inst.Delay - 1}, nil)
+	}
+	return out
+}
+
+// shrinkFamilyCandidates proposes smaller family cases: fewer verified
+// rounds first, then fewer nodes (clamping the churn core), then smaller
+// windows/dwells, then zero extra-edge probability. The network is derived
+// from the parameters, so shrinking rebuilds rather than mutating snapshots.
+func shrinkFamilyCandidates(inst *Instance) []*Instance {
+	f := inst.Fam
+	var out []*Instance
+	propose := func(mut func(c *FamilyCase)) {
+		c := *f
+		mut(&c)
+		if c.Core > c.N {
+			c.Core = c.N
+		}
+		out = append(out, &Instance{M: inst.M, Fam: &c})
+	}
+	if f.Rounds > 1 {
+		propose(func(c *FamilyCase) { c.Rounds = f.Rounds / 2 })
+		propose(func(c *FamilyCase) { c.Rounds = f.Rounds - 1 })
+	}
+	for _, smaller := range []int{f.N / 2, f.N - 1} {
+		if smaller >= 1 && smaller < f.N {
+			propose(func(c *FamilyCase) { c.N = smaller })
+		}
+	}
+	if f.Kind == "tinterval" && f.T > 1 {
+		propose(func(c *FamilyCase) { c.T = f.T - 1 })
+	}
+	if f.Kind == "churn" {
+		if f.Dwell > 1 {
+			propose(func(c *FamilyCase) { c.Dwell = f.Dwell - 1 })
+		}
+		if f.Core > 1 {
+			propose(func(c *FamilyCase) { c.Core = f.Core - 1 })
+		}
+	}
+	if f.P > 0 {
+		propose(func(c *FamilyCase) { c.P = 0 })
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"anondyn/internal/chainnet"
 	"anondyn/internal/core"
+	"anondyn/internal/counting"
 	"anondyn/internal/dynet"
 	"anondyn/internal/graph"
 	"anondyn/internal/histtree"
@@ -70,6 +71,29 @@ type System struct {
 	RREFRef func(m *linalg.Matrix) ([][]*big.Rat, []int)
 	// Limits budgets the general-k enumerator.
 	Limits kernel.EnumLimits
+	// PairK is the general-k Lemma-5 pair construction
+	// (core.IndistinguishablePairK).
+	PairK func(n, rounds, k int) (*core.Pair, error)
+	// KernelK is the general-k closed-form kernel (kernel.ClosedFormKernelK).
+	KernelK func(r, k int) (linalg.Vector, error)
+	// KernelSumNegK is the general-k Lemma-4 negative kernel sum.
+	KernelSumNegK func(r, k int) (*big.Int, error)
+	// MaxIndistK is the general-k horizon closed form
+	// (core.MaxIndistinguishableRoundsK).
+	MaxIndistK func(n, k int) int
+	// DegOracleCount runs the role-discovering degree-oracle counter to
+	// termination (counting.DegreeOracleCount on the sequential engine).
+	DegOracleCount func(net dynet.Dynamic, leader graph.NodeID, v1, v2 []graph.NodeID) (count, rounds int, err error)
+	// LayoutOracleCount runs the layout-fed degree-oracle counter
+	// (counting.OracleCount on the sequential engine).
+	LayoutOracleCount func(net dynet.Dynamic, leader graph.NodeID, v1, v2 []graph.NodeID) (count, rounds int, err error)
+	// NewTInterval builds the stability-window adversary (dynet.NewTInterval).
+	NewTInterval func(n, window int, p float64, seed int64) (dynet.Dynamic, error)
+	// NewChurn builds the join/leave churn adversary (dynet.NewChurn).
+	NewChurn func(n, core, dwell int, policy dynet.RejoinPolicy, p float64, seed int64) (dynet.LiveTracker, error)
+	// VerifyProps is the adversary-family conformance verifier
+	// (dynet.VerifyProperties).
+	VerifyProps func(d dynet.Dynamic, p dynet.Properties, rounds int) error
 }
 
 // Healthy wires the System to the real implementations.
@@ -101,5 +125,24 @@ func Healthy() *System {
 		EngineSharded: runtime.RunSharded,
 		RREFFast:      (*linalg.Matrix).RREF,
 		RREFRef:       (*linalg.Matrix).RREFReference,
+		PairK:         core.IndistinguishablePairK,
+		KernelK:       kernel.ClosedFormKernelK,
+		KernelSumNegK: kernel.KernelSumNegativeK,
+		MaxIndistK:    core.MaxIndistinguishableRoundsK,
+		DegOracleCount: func(net dynet.Dynamic, leader graph.NodeID, v1, v2 []graph.NodeID) (int, int, error) {
+			return counting.DegreeOracleCount(net, leader, v1, v2,
+				counting.Runner(runtime.SequentialEngine(context.Background())))
+		},
+		LayoutOracleCount: func(net dynet.Dynamic, leader graph.NodeID, v1, v2 []graph.NodeID) (int, int, error) {
+			return counting.OracleCount(net, leader, v1, v2,
+				counting.Runner(runtime.SequentialEngine(context.Background())))
+		},
+		NewTInterval: func(n, window int, p float64, seed int64) (dynet.Dynamic, error) {
+			return dynet.NewTInterval(n, window, p, seed)
+		},
+		NewChurn: func(n, core, dwell int, policy dynet.RejoinPolicy, p float64, seed int64) (dynet.LiveTracker, error) {
+			return dynet.NewChurn(n, core, dwell, policy, p, seed)
+		},
+		VerifyProps: dynet.VerifyProperties,
 	}
 }

@@ -8,9 +8,10 @@ import (
 	"anondyn/internal/multigraph"
 )
 
-// Pair is a pair of ℳ(DBL)₂ multigraphs of sizes n and n+1 whose leader
+// Pair is a pair of ℳ(DBL)ₖ multigraphs of sizes n and n+1 whose leader
 // views are identical through Rounds completed rounds — the constructive
-// witness of Lemma 5, produced by the worst-case adversary.
+// witness of Lemma 5, produced by the worst-case adversary (k = 2 in the
+// paper; IndistinguishablePairK generalizes the alphabet).
 type Pair struct {
 	// M has |W| = N, MPrime has |W| = N+1.
 	M, MPrime *multigraph.Multigraph
@@ -32,51 +33,7 @@ type Pair struct {
 // leader observation unchanged. Both configurations are realizable because
 // every entry stays non-negative.
 func IndistinguishablePair(n, rounds int) (*Pair, error) {
-	if rounds < 1 {
-		return nil, fmt.Errorf("core: rounds must be >= 1, got %d", rounds)
-	}
-	if maxR := MaxIndistinguishableRounds(n); rounds > maxR {
-		return nil, fmt.Errorf("core: size %d sustains at most %d indistinguishable rounds, requested %d",
-			n, maxR, rounds)
-	}
-	r := rounds - 1
-	// Only the ±1 kernel signs matter here; the int8 closed form avoids
-	// materializing a big.Int vector on this hot path.
-	kv := kernel.ClosedFormKernelSigns(r)
-	counts := make([]int, len(kv))
-	placed := 0
-	firstNeg := -1
-	for i, c := range kv {
-		if c < 0 {
-			counts[i] = 1
-			placed++
-			if firstNeg == -1 {
-				firstNeg = i
-			}
-		}
-	}
-	if placed > n {
-		// Unreachable given the rounds check above; guard for safety.
-		return nil, fmt.Errorf("core: internal: negative support %d exceeds n=%d", placed, n)
-	}
-	counts[firstNeg] += n - placed
-
-	m, err := multigraph.FromHistoryCounts(2, rounds, counts)
-	if err != nil {
-		return nil, fmt.Errorf("core: build M: %w", err)
-	}
-	countsPrime := make([]int, len(counts))
-	for i := range counts {
-		countsPrime[i] = counts[i] + int(kv[i])
-		if countsPrime[i] < 0 {
-			return nil, fmt.Errorf("core: internal: M' count %d negative at %d", countsPrime[i], i)
-		}
-	}
-	mp, err := multigraph.FromHistoryCounts(2, rounds, countsPrime)
-	if err != nil {
-		return nil, fmt.Errorf("core: build M': %w", err)
-	}
-	return &Pair{M: m, MPrime: mp, N: n, Rounds: rounds}, nil
+	return IndistinguishablePairK(n, rounds, 2)
 }
 
 // WorstCasePair is IndistinguishablePair at the maximum sustainable number
@@ -113,7 +70,10 @@ func (p *Pair) Verify() error {
 	if err != nil {
 		return err
 	}
-	kv := kernel.ClosedFormKernel(p.Rounds - 1)
+	kv, err := kernel.ClosedFormKernelK(p.Rounds-1, p.M.K())
+	if err != nil {
+		return err
+	}
 	for i := range ca {
 		if big.NewInt(int64(cb[i]-ca[i])).Cmp(kv[i]) != 0 {
 			return fmt.Errorf("core: count difference at history %d is %d, want kernel %s",

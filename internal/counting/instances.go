@@ -104,6 +104,75 @@ func ChurnInstance(n int, seed int64) (*Instance, error) {
 	}, nil
 }
 
+// TIntervalInstance is the stability-window adversary: a fresh random
+// connected topology held constant for windows of T rounds. The declared
+// dynet.Properties ride along so Validate can match algorithms to the
+// family's actual guarantees.
+func TIntervalInstance(n, T int, seed int64) (*Instance, error) {
+	net, err := dynet.NewTInterval(n, T, 0.2, seed)
+	if err != nil {
+		return nil, err
+	}
+	props := net.Properties()
+	return &Instance{
+		Name:      fmt.Sprintf("tinterval%d-%d-seed%d", T, n, seed),
+		Net:       net,
+		Leader:    0,
+		MaxDegree: observedMaxDegree(net, 2*T),
+		Horizon:   linearHorizon(n),
+		TrueN:     n,
+		Props:     &props,
+	}, nil
+}
+
+// JoinLeaveInstance is the join/leave churn adversary: a stable core of
+// ~n/3 nodes plus transients cycling through dwell-2 live/dead stints, with
+// live-set accounting. Churned-out nodes are isolated, so the declared
+// properties make Validate reject algorithms needing every snapshot
+// connected; estimators run with TrueN as the full slot universe.
+func JoinLeaveInstance(n int, seed int64) (*Instance, error) {
+	coreSize := n / 3
+	if coreSize < 1 {
+		coreSize = 1
+	}
+	net, err := dynet.NewChurn(n, coreSize, 2, dynet.RejoinCycle, 0.15, seed)
+	if err != nil {
+		return nil, err
+	}
+	props := net.Properties()
+	return &Instance{
+		Name:      fmt.Sprintf("joinleave-%d-seed%d", n, seed),
+		Net:       net,
+		Leader:    0,
+		MaxDegree: n - 1,
+		Horizon:   10 * linearHorizon(n),
+		TrueN:     n,
+		Fair:      true,
+		Props:     &props,
+	}, nil
+}
+
+// RandomizedInstance is the seed-deterministic randomized adversary: an
+// independent connected random graph every round, fair in the estimator
+// sense and 1-interval connected for the exact algorithms.
+func RandomizedInstance(n int, seed int64) (*Instance, error) {
+	net, err := dynet.NewRandomized(n, 0.3, seed)
+	if err != nil {
+		return nil, err
+	}
+	props := net.Properties()
+	return &Instance{
+		Name:      fmt.Sprintf("randomized-%d-seed%d", n, seed),
+		Net:       net,
+		Leader:    0,
+		MaxDegree: n - 1,
+		Horizon:   linearHorizon(n),
+		TrueN:     n,
+		Fair:      true,
+		Props:     &props,
+	}, nil
+}
+
 // FloodDelayInstance is the adaptive flood-delaying adversary, the
 // worst-case 1-interval-connected family for flooding-based algorithms.
 func FloodDelayInstance(n int) (*Instance, error) {

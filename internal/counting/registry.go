@@ -71,6 +71,18 @@ func (rq Requirements) Validate(inst *Instance) error {
 	if inst.Net == nil && !rq.Multigraph {
 		return fmt.Errorf("counting: instance %q carries no dynamic network", inst.Name)
 	}
+	if rq.IntervalConnected && inst.Props != nil {
+		// Declared adversary-family properties are authoritative: a family
+		// that does not guarantee connected snapshots — or that guarantees
+		// it only on the live-induced subgraph, leaving churned-out nodes
+		// isolated — cannot serve a 1-interval-connected algorithm.
+		if !inst.Props.IntervalConnected {
+			return fmt.Errorf("counting: algorithm needs 1-interval connectivity, which instance %q's adversary family does not declare", inst.Name)
+		}
+		if inst.Props.LiveAccounting {
+			return fmt.Errorf("counting: algorithm needs every snapshot connected, but instance %q's join/leave adversary isolates churned-out nodes", inst.Name)
+		}
+	}
 	if rq.Multigraph && inst.M == nil {
 		return fmt.Errorf("counting: algorithm needs the ℳ(DBL)₂ multigraph schedule, which instance %q does not carry", inst.Name)
 	}
@@ -115,6 +127,10 @@ type Instance struct {
 	TrueN int
 	// Fair marks randomized (non-worst-case) adversaries.
 	Fair bool
+	// Props, when non-nil, are the declared (and conformance-verified)
+	// dynet adversary-family properties of Net; Validate enforces
+	// connectivity requirements against them.
+	Props *dynet.Properties
 }
 
 // Result is an algorithm's outcome on an instance. Count is always in
@@ -221,6 +237,16 @@ func Registry() []Algorithm {
 			Requires:  Requirements{RestrictedPD2: true, DegreeOracle: true},
 			Run: func(inst *Instance, run Runner) (Result, error) {
 				c, r, err := OracleCount(inst.Net, inst.Leader, inst.V1, inst.V2, run)
+				return Result{Count: c, Rounds: r}, err
+			},
+		},
+		{
+			Name:      "degreeoracle",
+			Doc:       "role-discovering degree-oracle O(1) exact counter, 4 rounds with no layout side-channel",
+			Semantics: SemExact,
+			Requires:  Requirements{RestrictedPD2: true, DegreeOracle: true},
+			Run: func(inst *Instance, run Runner) (Result, error) {
+				c, r, err := DegreeOracleCount(inst.Net, inst.Leader, inst.V1, inst.V2, run)
 				return Result{Count: c, Rounds: r}, err
 			},
 		},

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryNamesAndLookup(t *testing.T) {
-	want := []string{"histtree", "idcount", "incremental", "leaderstate", "oracle", "pushsum", "star", "upperbound"}
+	want := []string{"degreeoracle", "histtree", "idcount", "incremental", "leaderstate", "oracle", "pushsum", "star", "upperbound"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

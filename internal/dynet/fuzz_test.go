@@ -1,0 +1,66 @@
+package dynet
+
+import (
+	"testing"
+)
+
+// FuzzTInterval throws arbitrary parameters at the T-interval generator:
+// whatever the constructor accepts must satisfy every property the family
+// declares — window law, connectivity, determinism — over a verification
+// horizon spanning several windows.
+func FuzzTInterval(f *testing.F) {
+	f.Add(4, 3, int64(1))
+	f.Add(1, 1, int64(0))
+	f.Add(9, 5, int64(-7))
+	f.Add(16, 2, int64(1<<40))
+	f.Fuzz(func(t *testing.T, n, window int, seed int64) {
+		if n > 64 {
+			n = n%64 + 1
+		}
+		if window > 16 {
+			window = window%16 + 1
+		}
+		ti, err := NewTInterval(n, window, 0.2, seed)
+		if err != nil {
+			if n >= 1 && window >= 1 {
+				t.Fatalf("constructor rejected valid params n=%d window=%d: %v", n, window, err)
+			}
+			return
+		}
+		rounds := 3*window + 2
+		if err := VerifyProperties(ti, ti.Properties(), rounds); err != nil {
+			t.Fatalf("n=%d window=%d seed=%d: %v", n, window, seed, err)
+		}
+	})
+}
+
+// FuzzChurn throws arbitrary parameters at the churn generator: accepted
+// parameter sets must preserve live-set accounting (conservation, dead
+// isolation, live connectivity, leader always live) under both rejoin
+// policies for long enough to cross several dwell cycles.
+func FuzzChurn(f *testing.F) {
+	f.Add(8, 3, 2, 0, int64(5))
+	f.Add(1, 1, 1, 0, int64(0))
+	f.Add(12, 4, 3, 1, int64(-9))
+	f.Add(5, 5, 1, 1, int64(1<<33))
+	f.Fuzz(func(t *testing.T, n, core, dwell, policy int, seed int64) {
+		if n > 48 {
+			n = n%48 + 1
+		}
+		if dwell > 8 {
+			dwell = dwell%8 + 1
+		}
+		pol := RejoinPolicy(policy & 1)
+		c, err := NewChurn(n, core, dwell, pol, 0.15, seed)
+		if err != nil {
+			if n >= 1 && core >= 1 && core <= n && dwell >= 1 {
+				t.Fatalf("constructor rejected valid params n=%d core=%d dwell=%d: %v", n, core, dwell, err)
+			}
+			return
+		}
+		rounds := 4*dwell + 2
+		if err := VerifyProperties(c, c.Properties(), rounds); err != nil {
+			t.Fatalf("n=%d core=%d dwell=%d policy=%v seed=%d: %v", n, core, dwell, pol, seed, err)
+		}
+	})
+}

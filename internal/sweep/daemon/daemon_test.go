@@ -205,16 +205,16 @@ func TestDaemonSubmitBuiltinSet(t *testing.T) {
 	defer tc.close()
 	created := tc.post("/campaigns", map[string]any{"set": "zoo-smoke", "workers": 2}, http.StatusCreated)
 	id := created["id"].(string)
-	if int(created["total_jobs"].(float64)) != 10 { // 5 specs × 2 sizes × 1 trial
-		t.Fatalf("zoo-smoke total_jobs = %v, want 10", created["total_jobs"])
+	if int(created["total_jobs"].(float64)) != 18 { // 9 specs × 2 sizes × 1 trial
+		t.Fatalf("zoo-smoke total_jobs = %v, want 18", created["total_jobs"])
 	}
 	tc.waitState(id, StateDone)
 	done, err := sweep.ReadJournal(filepath.Join(tc.srv.dir, id, "journal.jsonl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != 10 {
-		t.Fatalf("zoo-smoke journal holds %d rows, want 10", len(done))
+	if len(done) != 18 {
+		t.Fatalf("zoo-smoke journal holds %d rows, want 18", len(done))
 	}
 }
 

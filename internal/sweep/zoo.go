@@ -9,65 +9,111 @@ import (
 )
 
 // The zoo campaign: every comparable counting algorithm from the
-// counting.Registry measured on the same worst-case ℳ(DBL)₂ → 𝒢(PD)₂
-// family, so one journal holds the rounds-vs-n comparison the paper's
-// cost-of-anonymity question is about. Job.N is |W|; every proto reports
-// the total network size |V| = |W| + 3 as its count. The protos are
-// deterministic (the worst-case schedule ignores Job.Seed), so the frozen
-// EXPERIMENTS.md rows are reproducible byte-for-byte.
+// counting.Registry measured on a pinned adversary family, so one journal
+// holds the rounds-vs-n comparison the paper's cost-of-anonymity question
+// is about. For the worst-case protos Job.N is |W| and every proto reports
+// the total network size |V| = |W| + 3 as its count; the adversary-family
+// protos take Job.N as the total node count. The protos are deterministic
+// — the worst-case schedule ignores Job.Seed, the family schedules are
+// pure functions of it — so the frozen EXPERIMENTS.md rows are
+// reproducible byte-for-byte.
 
-// Registered zoo protocol names, one per comparable registry algorithm.
-// The oracle, star, and push-sum entries are absent by design: their model
-// requirements (degree oracle, 𝒢(PD)₁, fair adversary) do not hold on the
-// worst-case family, which is exactly what counting.Requirements encodes.
+// Registered zoo protocol names. The first six run on the worst-case
+// ℳ(DBL)₂ → 𝒢(PD)₂ family (degreeoracle included: Lemma 1's image is
+// restricted, so the O(1) counter's flat-4-rounds row sits next to the
+// Θ(log n) and Θ(n) curves it contrasts with). The last three measure the
+// diversity families: the history-tree counter on T-interval and
+// randomized dynamics, and push-sum estimation on join/leave churn. The
+// oracle and star entries are absent by design: their model requirements
+// (layout side-channel, 𝒢(PD)₁) add nothing over degreeoracle here.
 const (
-	ProtoZooHistTree    = "zoo-histtree"
-	ProtoZooIDCount     = "zoo-idcount"
-	ProtoZooIncremental = "zoo-incremental"
-	ProtoZooLeaderState = "zoo-leaderstate"
-	ProtoZooUpperBound  = "zoo-upperbound"
+	ProtoZooHistTree     = "zoo-histtree"
+	ProtoZooIDCount      = "zoo-idcount"
+	ProtoZooIncremental  = "zoo-incremental"
+	ProtoZooLeaderState  = "zoo-leaderstate"
+	ProtoZooUpperBound   = "zoo-upperbound"
+	ProtoZooDegreeOracle = "zoo-degreeoracle"
+	ProtoZooTInterval    = "zoo-tinterval"
+	ProtoZooJoinLeave    = "zoo-joinleave"
+	ProtoZooRandomized   = "zoo-randomized"
 )
 
+// zooProto pairs a registry algorithm with the adversary-instance builder
+// its campaign measures it on.
+type zooProto struct {
+	algo  string
+	build func(job Job) (*counting.Instance, error)
+}
+
+func worstCaseBuild(job Job) (*counting.Instance, error) {
+	return counting.WorstCaseInstance(job.N)
+}
+
+var zooProtos = map[string]zooProto{
+	ProtoZooHistTree:     {"histtree", worstCaseBuild},
+	ProtoZooIDCount:      {"idcount", worstCaseBuild},
+	ProtoZooIncremental:  {"incremental", worstCaseBuild},
+	ProtoZooLeaderState:  {"leaderstate", worstCaseBuild},
+	ProtoZooUpperBound:   {"upperbound", worstCaseBuild},
+	ProtoZooDegreeOracle: {"degreeoracle", worstCaseBuild},
+	ProtoZooTInterval: {"histtree", func(job Job) (*counting.Instance, error) {
+		return counting.TIntervalInstance(job.N, 3, job.Seed)
+	}},
+	ProtoZooJoinLeave: {"pushsum", func(job Job) (*counting.Instance, error) {
+		return counting.JoinLeaveInstance(job.N, job.Seed)
+	}},
+	ProtoZooRandomized: {"histtree", func(job Job) (*counting.Instance, error) {
+		return counting.RandomizedInstance(job.N, job.Seed)
+	}},
+}
+
 // ZooAlgorithms maps each zoo proto to its registry algorithm.
-var ZooAlgorithms = map[string]string{
-	ProtoZooHistTree:    "histtree",
-	ProtoZooIDCount:     "idcount",
-	ProtoZooIncremental: "incremental",
-	ProtoZooLeaderState: "leaderstate",
-	ProtoZooUpperBound:  "upperbound",
+var ZooAlgorithms = func() map[string]string {
+	out := make(map[string]string, len(zooProtos))
+	for proto, zp := range zooProtos {
+		out[proto] = zp.algo
+	}
+	return out
+}()
+
+// WorstCaseZooProtos lists the protos measured on the worst-case family,
+// whose counts are unit-consistent at |V| = |W| + 3.
+func WorstCaseZooProtos() []string {
+	return []string{ProtoZooHistTree, ProtoZooIDCount, ProtoZooIncremental,
+		ProtoZooLeaderState, ProtoZooUpperBound, ProtoZooDegreeOracle}
 }
 
 func init() {
-	for proto, algo := range ZooAlgorithms {
-		proto, algo := proto, algo
+	for proto, zp := range zooProtos {
+		proto, zp := proto, zp
 		Register(proto, func(ctx context.Context, job Job) (Result, error) {
-			return zooRun(ctx, job, algo)
+			return zooRun(ctx, job, zp)
 		})
 	}
 }
 
-// zooRun executes one registry algorithm on the worst-case instance of
-// size job.N. An exact algorithm returning a wrong count is an execution
-// fault (it would falsify the algorithm's correctness claim), as is an
-// upper bound below the truth; an over-counting upper bound is the
-// expected measurement and is recorded as-is.
-func zooRun(ctx context.Context, job Job, algo string) (Result, error) {
+// zooRun executes one registry algorithm on the proto's instance at size
+// job.N. An exact algorithm returning a wrong count is an execution fault
+// (it would falsify the algorithm's correctness claim), as is an upper
+// bound below the truth; an over-counting upper bound and a push-sum
+// estimate are the expected measurements and are recorded as-is.
+func zooRun(ctx context.Context, job Job, zp zooProto) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	inst, err := counting.WorstCaseInstance(job.N)
+	inst, err := zp.build(job)
 	if err != nil {
 		return Result{}, err
 	}
 	if job.Horizon > inst.Horizon {
 		inst.Horizon = job.Horizon
 	}
-	entry, err := counting.Lookup(algo)
+	entry, err := counting.Lookup(zp.algo)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Key: job.Key, Proto: job.Proto, N: job.N, Trial: job.Trial}
-	out, err := counting.RunAlgorithm(algo, inst, counting.Runner(runtime.RunSequential))
+	out, err := counting.RunAlgorithm(zp.algo, inst, counting.Runner(runtime.RunSequential))
 	if err != nil {
 		res.Rounds = -1
 		res.Failed = true
@@ -77,8 +123,8 @@ func zooRun(ctx context.Context, job Job, algo string) (Result, error) {
 	switch entry.Semantics {
 	case counting.SemExact:
 		if out.Count != inst.TrueN {
-			return Result{}, fmt.Errorf("sweep: %s counted %d on the size-%d worst case (|V| = %d)",
-				job.Key, out.Count, job.N, inst.TrueN)
+			return Result{}, fmt.Errorf("sweep: %s counted %d on %s (|V| = %d)",
+				job.Key, out.Count, inst.Name, inst.TrueN)
 		}
 	case counting.SemUpperBound:
 		if out.Count < inst.TrueN {
@@ -96,10 +142,12 @@ func zooRun(ctx context.Context, job Job, algo string) (Result, error) {
 // table:
 //
 //   - "zoo": the comparative counting-algorithm campaign frozen into
-//     EXPERIMENTS.md — five registry algorithms on the worst-case family.
-//     The incremental counter's grid stops earlier: its round count grows
-//     cubically, so the larger sizes would dominate the whole campaign's
-//     wall time without adding information.
+//     EXPERIMENTS.md — six registry algorithms on the worst-case family
+//     plus the three adversary-diversity specs. The incremental counter's
+//     grid stops earlier: its round count grows cubically, so the larger
+//     sizes would dominate the whole campaign's wall time without adding
+//     information; the join/leave grid stops at the same point because
+//     push-sum's convergence rounds grow with the churn horizon.
 //   - "zoo-smoke": a seconds-scale subset for CI.
 func BuiltinSet(name string) ([]Spec, bool) {
 	switch name {
@@ -112,6 +160,10 @@ func BuiltinSet(name string) ([]Spec, bool) {
 			{Name: "zoo-incremental", Proto: ProtoZooIncremental, Sizes: short, Trials: 1, Horizon: 1, Seed: 99},
 			{Name: "zoo-leaderstate", Proto: ProtoZooLeaderState, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
 			{Name: "zoo-upperbound", Proto: ProtoZooUpperBound, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-degreeoracle", Proto: ProtoZooDegreeOracle, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-tinterval", Proto: ProtoZooTInterval, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-joinleave", Proto: ProtoZooJoinLeave, Sizes: short, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-randomized", Proto: ProtoZooRandomized, Sizes: full, Trials: 1, Horizon: 1, Seed: 99},
 		}, true
 	case "zoo-smoke":
 		sizes := []int{4, 7}
@@ -121,6 +173,10 @@ func BuiltinSet(name string) ([]Spec, bool) {
 			{Name: "zoo-incremental", Proto: ProtoZooIncremental, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
 			{Name: "zoo-leaderstate", Proto: ProtoZooLeaderState, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
 			{Name: "zoo-upperbound", Proto: ProtoZooUpperBound, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-degreeoracle", Proto: ProtoZooDegreeOracle, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-tinterval", Proto: ProtoZooTInterval, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-joinleave", Proto: ProtoZooJoinLeave, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
+			{Name: "zoo-randomized", Proto: ProtoZooRandomized, Sizes: sizes, Trials: 1, Horizon: 1, Seed: 99},
 		}, true
 	}
 	return nil, false

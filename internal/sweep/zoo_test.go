@@ -12,8 +12,8 @@ func TestBuiltinSetNames(t *testing.T) {
 		if !ok {
 			t.Fatalf("BuiltinSet(%q) missing", name)
 		}
-		if len(specs) != 5 {
-			t.Fatalf("BuiltinSet(%q) has %d specs, want 5 (the comparable registry algorithms)", name, len(specs))
+		if len(specs) != 9 {
+			t.Fatalf("BuiltinSet(%q) has %d specs, want 9 (six worst-case protos plus three adversary-diversity protos)", name, len(specs))
 		}
 		seen := map[string]bool{}
 		for _, s := range specs {
@@ -34,14 +34,14 @@ func TestBuiltinSetNames(t *testing.T) {
 	}
 }
 
-// Every zoo proto must produce the unit-consistent measurement on the
-// worst-case family: exact algorithms count |V| = |W| + 3 exactly (a wrong
-// count is an execution fault that would abort the campaign), the upper
-// bound is >= |V|.
+// Every worst-case zoo proto must produce the unit-consistent measurement
+// on the worst-case family: exact algorithms count |V| = |W| + 3 exactly
+// (a wrong count is an execution fault that would abort the campaign),
+// the upper bound is >= |V|.
 func TestZooProtosOnWorstCase(t *testing.T) {
 	ctx := context.Background()
 	const w = 4 // |W|; total |V| = 7
-	for proto, algo := range ZooAlgorithms {
+	for _, proto := range WorstCaseZooProtos() {
 		fn, ok := Proto(proto)
 		if !ok {
 			t.Fatalf("proto %q not registered", proto)
@@ -54,7 +54,7 @@ func TestZooProtosOnWorstCase(t *testing.T) {
 		if res.Failed {
 			t.Fatalf("%s: failed: %s", proto, res.Err)
 		}
-		if algo == "upperbound" {
+		if ZooAlgorithms[proto] == "upperbound" {
 			if res.Count < w+3 {
 				t.Fatalf("%s: bound %d below |V| = %d", proto, res.Count, w+3)
 			}
@@ -63,6 +63,59 @@ func TestZooProtosOnWorstCase(t *testing.T) {
 		}
 		if res.Rounds < 1 {
 			t.Fatalf("%s: rounds = %d", proto, res.Rounds)
+		}
+	}
+	if got, want := len(WorstCaseZooProtos())+3, len(ZooAlgorithms); got != want {
+		t.Fatalf("worst-case protos + 3 family protos = %d, registry has %d", got, want)
+	}
+}
+
+// The adversary-diversity protos measure the family instances directly:
+// Job.N is the total node count. The history-tree protos are exact
+// (zooRun itself aborts on a wrong count, so reaching a result proves
+// exactness); the push-sum proto records an estimate, which only needs to
+// be a positive measurement with at least one round of work behind it.
+func TestZooFamilyProtos(t *testing.T) {
+	ctx := context.Background()
+	const n = 7
+	for _, tc := range []struct {
+		proto string
+		exact bool
+	}{
+		{ProtoZooTInterval, true},
+		{ProtoZooRandomized, true},
+		{ProtoZooJoinLeave, false},
+	} {
+		fn, ok := Proto(tc.proto)
+		if !ok {
+			t.Fatalf("proto %q not registered", tc.proto)
+		}
+		job := Job{Key: tc.proto + "/test", Proto: tc.proto, N: n, Trial: 0, Horizon: 1, Seed: 42}
+		res, err := fn(ctx, job)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.proto, err)
+		}
+		if res.Failed {
+			t.Fatalf("%s: failed: %s", tc.proto, res.Err)
+		}
+		if tc.exact && res.Count != n {
+			t.Fatalf("%s: count = %d, want %d", tc.proto, res.Count, n)
+		}
+		if !tc.exact && res.Count < 1 {
+			t.Fatalf("%s: estimate = %d, want a positive measurement", tc.proto, res.Count)
+		}
+		if res.Rounds < 1 {
+			t.Fatalf("%s: rounds = %d", tc.proto, res.Rounds)
+		}
+		// The family schedules are pure functions of the job seed, so the
+		// frozen rows are reproducible.
+		again, err := fn(ctx, job)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", tc.proto, err)
+		}
+		if again.Rounds != res.Rounds || again.Count != res.Count {
+			t.Fatalf("%s nondeterministic: (%d,%d) vs (%d,%d)",
+				tc.proto, res.Count, res.Rounds, again.Count, again.Rounds)
 		}
 	}
 }
@@ -98,8 +151,8 @@ func TestZooCampaignEndToEnd(t *testing.T) {
 		all = append(all, rep.Results...)
 	}
 	stats := Aggregate(all)
-	if len(stats) != 10 { // 5 protos × 2 sizes
-		t.Fatalf("combined table has %d rows, want 10", len(stats))
+	if len(stats) != 18 { // 9 protos × 2 sizes
+		t.Fatalf("combined table has %d rows, want 18", len(stats))
 	}
 	table := FormatTable(stats)
 	for proto := range ZooAlgorithms {
