@@ -4,17 +4,18 @@
 // incremental kernel solve on a worst-case schedule, the coalesced solver's
 // indexed ingestion path (including the million-node stream feed), the
 // linalg RREF fast path on both sides of the int64→big.Int fallback
-// boundary, the history-tree counter's view-merge hot path (both the raw
-// bitset MergeCollect and a full Count run on a cycle), a full smoke sweep
-// campaign, and the raw obs handle operations
-// — and writes the results as JSON (BENCH_PR7.json). The committed
+// boundary, the history-tree counter's view-merge hot path (the raw
+// bitset MergeCollect plus full Count runs on a 64-node cycle and a
+// 1024-node cycle — the latter proves the counter scales past toy sizes),
+// a full smoke sweep campaign, and the raw obs handle operations
+// — and writes the results as JSON (BENCH_PR10.json). The committed
 // snapshot is the reference
 // point for spotting regressions in the hot paths; the disabled/enabled
 // benchmark pairs quantify the instrumentation overhead itself.
 //
 // Usage:
 //
-//	perfbaseline [-o BENCH_PR7.json] [-filter substring] [-benchtime 1s]
+//	perfbaseline [-o BENCH_PR10.json] [-filter substring] [-benchtime 1s]
 //	             [-compare old.json] [-threshold 3.0]
 //
 // With -compare, per-benchmark deltas against the old baseline are printed
@@ -83,7 +84,7 @@ type baseline struct {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("perfbaseline", flag.ContinueOnError)
-	outPath := fs.String("o", "BENCH_PR7.json", "output `file` (\"-\" for stdout only)")
+	outPath := fs.String("o", "BENCH_PR10.json", "output `file` (\"-\" for stdout only)")
 	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
 	benchtime := fs.String("benchtime", "", "per-benchmark measuring time (e.g. 100ms); empty keeps the 1s default")
 	comparePath := fs.String("compare", "", "old baseline `file` to diff against; exits non-zero past -threshold")
@@ -118,6 +119,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		{"kernel/incremental-solve/n364", kernelBench},
 		{"histtree/view-merge/64wx8", histMergeBench()},
 		{"histtree/count/cycle-n64", histCountBench},
+		{"histtree/count/cycle-n1024", histCountLargeBench},
 		{"kernel/coalesced-solver/w40", solverBench()},
 		{"linalg/rref/int64-16x17", rrefBench(16, 17, 9, false)},
 		{"linalg/rref/spill-16x17", rrefBench(16, 17, 1<<32, false)},
@@ -490,6 +492,33 @@ func histCountBench(b *testing.B) {
 		}
 		if count != benchNodes {
 			b.Fatalf("count = %d, want %d", count, benchNodes)
+		}
+	}
+}
+
+// histCountLargeBench is the same whole-protocol run on a 1024-node cycle:
+// ~2.5·n rounds over a million-class history tree. At this scale the
+// per-message full-view snapshots of the pre-delta encoding dominated the
+// run (quadratic bytes copied per round); the workload pins the counter's
+// large-n behavior so the delta-broadcast path cannot silently regress
+// back to it. One iteration takes tens of seconds, so the benchmark
+// effectively records single-run timings.
+func histCountLargeBench(b *testing.B) {
+	const n = 1024
+	g, err := graph.Cycle(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := dynet.NewStatic(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count, _, err := histtree.Count(net, 0, 3*n+10, engine.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("count = %d, want %d", count, n)
 		}
 	}
 }

@@ -22,10 +22,18 @@ func (e *ConnectivityError) Error() string {
 // the paper's model). It returns a *ConnectivityError naming the first bad
 // round, or nil.
 func VerifyIntervalConnectivity(d Dynamic, rounds int) error {
+	var prev *graph.Graph
 	for r := 0; r < rounds; r++ {
-		if !d.Snapshot(r).Connected() {
+		g := d.Snapshot(r)
+		if g == prev {
+			// Same snapshot object as the previous round (static networks
+			// return one shared graph): already verified connected.
+			continue
+		}
+		if !g.Connected() {
 			return &ConnectivityError{Round: r}
 		}
+		prev = g
 	}
 	return nil
 }

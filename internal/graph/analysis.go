@@ -14,12 +14,12 @@ func (g *Graph) BFSDistances(src NodeID) []int {
 		return dist
 	}
 	dist[src] = 0
+	idx := g.index()
 	queue := make([]NodeID, 0, g.n)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for v := range g.adj[u] {
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range idx.nbrs[idx.off[u]:idx.off[u+1]] {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

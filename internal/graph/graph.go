@@ -13,6 +13,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a graph. Nodes are dense integers in
@@ -43,9 +44,51 @@ func (e Edge) String() string {
 
 // Graph is an undirected simple graph over nodes 0..n-1.
 // The zero value is an empty graph with no nodes; use New.
+//
+// Reads are safe for concurrent use; mutation (AddEdge, RemoveEdge) must
+// not race with readers — the same contract as the adjacency maps. The
+// first sorted-neighbor traversal builds a CSR index of the adjacency
+// (offsets + concatenated sorted neighbor lists) which subsequent
+// traversals reuse; the runtime engines walk every node's neighborhood
+// each round, so the index turns that hot path from per-round map
+// iteration and sorting into a copy of a precomputed slice. Mutators drop
+// the index.
 type Graph struct {
 	n   int
 	adj []map[NodeID]struct{}
+	csr atomic.Pointer[csrIndex]
+}
+
+// csrIndex is the frozen adjacency: neighbors of v, in ascending order,
+// are nbrs[off[v]:off[v+1]].
+type csrIndex struct {
+	off  []int32
+	nbrs []NodeID
+}
+
+// index returns the CSR adjacency, building it on first use. Concurrent
+// first calls may build duplicate indexes; one wins the CAS and the rest
+// are discarded — all are equal, so readers never observe inconsistency.
+func (g *Graph) index() *csrIndex {
+	if idx := g.csr.Load(); idx != nil {
+		return idx
+	}
+	idx := &csrIndex{off: make([]int32, g.n+1)}
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	idx.nbrs = make([]NodeID, 0, total)
+	for v := 0; v < g.n; v++ {
+		base := len(idx.nbrs)
+		for u := range g.adj[v] {
+			idx.nbrs = append(idx.nbrs, u)
+		}
+		slices.Sort(idx.nbrs[base:])
+		idx.off[v+1] = int32(len(idx.nbrs))
+	}
+	g.csr.CompareAndSwap(nil, idx)
+	return idx
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -116,6 +159,7 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	}
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
+	g.csr.Store(nil)
 	return nil
 }
 
@@ -129,6 +173,7 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 	}
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
+	g.csr.Store(nil)
 	return nil
 }
 
@@ -166,12 +211,8 @@ func (g *Graph) NeighborsAppend(v NodeID, dst []NodeID) []NodeID {
 	if v < 0 || int(v) >= g.n {
 		return dst
 	}
-	base := len(dst)
-	for u := range g.adj[v] {
-		dst = append(dst, u)
-	}
-	slices.Sort(dst[base:])
-	return dst
+	idx := g.index()
+	return append(dst, idx.nbrs[idx.off[v]:idx.off[v+1]]...)
 }
 
 // Edges returns all edges in canonical order (sorted by (U,V)).

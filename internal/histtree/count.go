@@ -3,7 +3,9 @@ package histtree
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"slices"
+	"strconv"
 
 	"anondyn/internal/dynet"
 	"anondyn/internal/graph"
@@ -14,28 +16,63 @@ import (
 // runtime's engines and interchangeable with counting.Runner values.
 type Runner = runtime.Engine
 
-// viewMsg is the per-round broadcast: the sender's current class, its
-// id-free hash (for engine-independent canonical ordering), and a snapshot
-// of its view bitset.
+// viewMsg is the legacy full-snapshot broadcast: the sender's current
+// class, its id-free hash, and a copy of its view bitset. Current senders
+// broadcast *viewDelta (see delta.go); viewMsg remains accepted by every
+// receiver and ordered by the same canon, so full-snapshot and delta
+// senders interoperate within one execution.
 type viewMsg struct {
 	cur  int32
 	hash uint64
 	bits []uint64
 }
 
-// canonMsg orders inboxes by the structural hash of the sender's class.
-// Ties are broken by the engines' stable sort; the protocol's merges are
-// commutative, so delivery order never affects the outcome.
+// canonKey orders inboxes by the structural hash of the sender's class —
+// the allocation-free uint64 fast path the engines prefer over canonMsg.
+// Ties (hash collisions, or two members of the same class) are broken by
+// the engines' stable sort on sender id; the protocol's merges are
+// commutative, so delivery order never affects the outcome. Non-protocol
+// messages never occur in a Count run; they all map to key 0.
+func canonKey(m runtime.Message) uint64 {
+	switch vm := m.(type) {
+	case *viewDelta:
+		return vm.hash
+	case viewMsg:
+		return vm.hash
+	}
+	return 0
+}
+
+// canonMsg is the string canon retained as the engines' fallback when no
+// CanonKey is configured (and for mixed-protocol runs that need
+// DefaultCanon for foreign messages). It performs exactly one allocation —
+// the final string — instead of going through fmt.
 func canonMsg(m runtime.Message) string {
-	vm, ok := m.(viewMsg)
-	if !ok {
+	var h uint64
+	var n int
+	switch vm := m.(type) {
+	case *viewDelta:
+		h, n = vm.hash, len(vm.base)
+	case viewMsg:
+		h, n = vm.hash, len(vm.bits)
+	default:
 		return runtime.DefaultCanon(m)
 	}
-	return fmt.Sprintf("h:%016x:%d", vm.hash, len(vm.bits))
+	const hexdigits = "0123456789abcdef"
+	var buf [40]byte
+	b := append(buf[:0], 'h', ':')
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hexdigits[(h>>uint(shift))&0xf])
+	}
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
 }
 
 // proc is a non-leader process: it tracks its current class and its view,
-// and each round extends the tree with the class multiset it heard.
+// and each round extends the tree with the class multiset it heard. Its
+// broadcast is delta-encoded: base is the immutable snapshot shared by
+// every message since the last rebase, delta the class ids added since.
 type proc struct {
 	tree    *Tree
 	view    View
@@ -43,27 +80,65 @@ type proc struct {
 	curHash uint64
 	heard   []int32   // scratch: sender classes this round
 	pairs   []RedEdge // scratch: the multiset passed to Extend
+
+	base      []uint64    // current base snapshot (one of baseBufs)
+	baseBufs  [2][]uint64 // alternating rebase targets; see delta.go
+	baseIdx   int         // which buffer base points at
+	epoch     int32       // rebase counter carried in outgoing messages
+	delta     []wordMask  // view bits added since base was taken
+	published int         // delta entries frozen by the last Send
+	out       viewDelta   // reused outgoing message (see delta.go)
+	seen      mergeCache  // bases already merged, for delta-suffix skipping
 }
 
 func newProc(t *Tree, leader bool) proc {
 	p := proc{tree: t, cur: t.Root(leader)}
 	p.curHash = t.Hash(p.cur)
 	p.view.Add(p.cur)
+	p.delta = append(p.delta, wordMask{w: p.cur >> 6, mask: 1 << uint(p.cur&63)})
 	return p
 }
 
 func (p *proc) Send(int) runtime.Message {
-	return viewMsg{cur: p.cur, hash: p.curHash, bits: p.view.Snapshot()}
+	if p.base == nil || len(p.delta) >= rebaseThreshold(len(p.view.bits)) {
+		// Rebase into the buffer published two epochs ago — no message
+		// referencing it is still live (see delta.go) — so the steady
+		// state recycles two buffers instead of allocating snapshots.
+		p.baseIdx ^= 1
+		buf := append(p.baseBufs[p.baseIdx][:0], p.view.bits...)
+		p.baseBufs[p.baseIdx] = buf
+		p.base = buf
+		p.epoch++
+		p.delta = p.delta[:0]
+		p.out.base = p.base
+		p.out.epoch = p.epoch
+	}
+	p.out.cur, p.out.hash = p.cur, p.curHash
+	// Refresh the delta header only when it changed: its length grows
+	// strictly between Sends (so equal length means no append happened and
+	// the backing array is unchanged), and skipping the store avoids a
+	// pointer write barrier on every per-neighbor Send.
+	if len(p.out.delta) != len(p.delta) {
+		p.out.delta = p.delta
+	}
+	p.published = len(p.delta)
+	return &p.out
 }
 
 // absorb performs the round's receive: intern the new class, merge the
-// received views, and record the new class in the view. When added is
-// non-nil, every newly visible class id is appended to it (the leader's
-// incremental index); the returned slice is the extended scratch.
-func (p *proc) absorb(msgs []runtime.Message, added []int32) []int32 {
+// received views, and record the new class in the view. Every newly
+// visible class id lands in p.delta; the returned index marks where this
+// round's additions start, so the leader can index them incrementally.
+// Entries below the returned index are never mutated during the receive:
+// addDelta coalesces only into entries past the published mark, which
+// equals len(p.delta) when the receive begins.
+func (p *proc) absorb(msgs []runtime.Message) int {
 	p.heard = p.heard[:0]
 	for _, m := range msgs {
-		if vm, ok := m.(viewMsg); ok {
+		switch vm := m.(type) {
+		case *viewDelta:
+			p.heard = append(p.heard, vm.cur)
+		case viewMsg:
 			p.heard = append(p.heard, vm.cur)
 		}
 	}
@@ -77,25 +152,25 @@ func (p *proc) absorb(msgs []runtime.Message, added []int32) []int32 {
 		p.pairs = append(p.pairs, RedEdge{Class: p.heard[i], Mult: int32(j - i)})
 		i = j
 	}
-	p.cur = p.tree.Extend(p.cur, p.pairs)
-	p.curHash = p.tree.Hash(p.cur)
+	p.cur, p.curHash = p.tree.ExtendHash(p.cur, p.pairs)
+	start := len(p.delta)
 	for _, m := range msgs {
-		if vm, ok := m.(viewMsg); ok {
-			if added != nil {
-				added = p.view.MergeCollect(vm.bits, added)
-			} else {
-				p.view.Merge(vm.bits)
-			}
-		}
+		p.mergeMsg(m)
 	}
-	if p.view.Add(p.cur) && added != nil {
-		added = append(added, p.cur)
+	w := int(p.cur >> 6)
+	m := uint64(1) << uint(p.cur&63)
+	if w >= len(p.view.bits) {
+		p.view.grow(w)
 	}
-	return added
+	if p.view.bits[w]&m == 0 {
+		p.view.bits[w] |= m
+		p.addDelta(int32(w), m)
+	}
+	return start
 }
 
 func (p *proc) Receive(_ int, msgs []runtime.Message) {
-	p.absorb(msgs, nil)
+	p.absorb(msgs)
 }
 
 // classInfo is the leader's lock-free cache of a class's structure.
@@ -120,6 +195,24 @@ const (
 	pairIncomplete
 )
 
+// pairCache memoizes the last classify/solve of one level pair. Both
+// computations depend only on the classes visible at levels t and t+1 —
+// sets that are append-only — and on immutable per-class structure, so
+// (t, len(perLevel[t]), len(perLevel[t+1])) identifies the inputs exactly:
+// while the candidate pair hasn't moved and no new class has surfaced at
+// its levels, the previous verdict (and solved count) is reused verbatim.
+// candidate() probes levels in ascending order ending at the level it
+// reports on, so the single slot always holds the pair the next round
+// probes first.
+type pairCache struct {
+	t           int
+	tLen, t1Len int
+	state       pairState
+	solved      bool
+	solvedN     int
+	solvedOK    bool
+}
+
 // leaderProc is the leader: besides the shared process behavior it indexes
 // visible classes by level, detects the earliest stable level pair, solves
 // the red-edge cardinality equations, and applies a conservative
@@ -129,11 +222,25 @@ type leaderProc struct {
 	perLevel [][]int32   // visible class ids, grouped by level
 	info     []classInfo // cache indexed by class id
 	own      []int32     // own[t] = the leader's class at level t
-	added    []int32     // scratch for MergeCollect
 
-	childOf map[int32]int32   // scratch: level-t class -> unique child
-	cards   map[int32]big.Rat // scratch: solved cardinalities
-	queue   []int32           // scratch: BFS frontier
+	// childOf/fcards are dense per-class-id scratch tables with generation
+	// stamps: an entry is live only when its stamp equals the current
+	// generation, so "clearing" is one counter increment instead of a map
+	// clear, and lookups are array indexing instead of map probes. Ids are
+	// dense intern ids, bounded by len(info).
+	childOf  []int32  // scratch: level-t class -> unique child
+	childGen []uint32 // stamp validating childOf entries
+	chGen    uint32   // current childOf generation
+	fcards   []frac   // scratch: int64 solve cardinalities
+	fcGen    []uint32 // stamp validating fcards entries
+	fcGenID  uint32   // current fcards generation
+	queue    []int32  // scratch: BFS frontier (index-cursor, reused)
+
+	cards   map[int32]*big.Rat // scratch: big.Rat spill-path cardinalities
+	ratPool []*big.Rat         // persistent pool backing cards values
+	ratio   big.Rat            // scratch: per-edge mult ratio
+
+	cache pairCache
 
 	minUnstable int // levels below this are proven unstable forever
 
@@ -149,12 +256,10 @@ type leaderProc struct {
 
 func newLeaderProc(t *Tree) *leaderProc {
 	l := &leaderProc{
-		proc: newProc(t, true),
-		// added must start non-nil: absorb treats a nil slice as "do not
-		// collect", which is the non-leader path.
-		added:   make([]int32, 0, 64),
-		childOf: make(map[int32]int32),
-		cards:   make(map[int32]big.Rat),
+		proc:  newProc(t, true),
+		info:  make([]classInfo, 0, 1024),
+		cards: make(map[int32]*big.Rat),
+		cache: pairCache{t: -1},
 	}
 	l.own = append(l.own, l.cur)
 	l.note(l.cur)
@@ -163,12 +268,21 @@ func newLeaderProc(t *Tree) *leaderProc {
 
 // note indexes a newly visible class by level and caches its structure.
 func (l *leaderProc) note(id int32) {
+	l.tree.mu.RLock()
+	l.noteLocked(id)
+	l.tree.mu.RUnlock()
+}
+
+// noteLocked is note under the tree's read lock, so a batch of newly
+// visible classes costs one lock acquisition (same-package access; the
+// tree's nodes and arena are append-only under the write lock).
+func (l *leaderProc) noteLocked(id int32) {
 	for int(id) >= len(l.info) {
 		l.info = append(l.info, classInfo{level: -1})
 	}
 	if l.info[id].level < 0 {
-		lv, parent, red := l.tree.Info(id)
-		l.info[id] = classInfo{level: int32(lv), parent: parent, red: red}
+		n := &l.tree.nodes[id]
+		l.info[id] = classInfo{level: n.level, parent: n.parent, red: l.tree.red(n)}
 	}
 	lv := int(l.info[id].level)
 	for lv >= len(l.perLevel) {
@@ -181,9 +295,18 @@ func (l *leaderProc) Receive(r int, msgs []runtime.Message) {
 	if l.done {
 		return
 	}
-	l.added = l.absorb(msgs, l.added[:0])
-	for _, id := range l.added {
-		l.note(id)
+	start := l.absorb(msgs)
+	// p.delta accumulates across rounds (until a rebase at Send); the
+	// suffix past start is exactly this round's newly visible classes.
+	if start < len(l.delta) {
+		l.tree.mu.RLock()
+		for _, e := range l.delta[start:] {
+			base := e.w << 6
+			for m := e.mask; m != 0; m &= m - 1 {
+				l.noteLocked(base + int32(bits.TrailingZeros64(m)))
+			}
+		}
+		l.tree.mu.RUnlock()
 	}
 	l.own = append(l.own, l.cur)
 	l.evaluate(r)
@@ -247,88 +370,40 @@ func (l *leaderProc) candidate() (t, n int, ok bool) {
 	return 0, 0, false
 }
 
-// classify inspects the pair (t, t+1), filling childOf when stable.
+// classify inspects the pair (t, t+1), filling childOf when the verdict is
+// not cached. A cache hit leaves childOf untouched: its contents still
+// describe the cached pair, because no class has appeared at either level
+// since it was filled.
 func (l *leaderProc) classify(t int) pairState {
-	clear(l.childOf)
+	if l.cache.t == t && l.cache.tLen == len(l.perLevel[t]) && l.cache.t1Len == len(l.perLevel[t+1]) {
+		return l.cache.state
+	}
+	l.cache = pairCache{t: t, tLen: len(l.perLevel[t]), t1Len: len(l.perLevel[t+1])}
+	for len(l.childOf) < len(l.info) {
+		l.childOf = append(l.childOf, 0)
+		l.childGen = append(l.childGen, 0)
+	}
+	l.chGen++
+	st := pairStable
 	for _, id := range l.perLevel[t+1] {
 		p := l.info[id].parent
-		if prev, seen := l.childOf[p]; seen && prev != id {
-			return pairUnstable
+		if l.childGen[p] == l.chGen && l.childOf[p] != id {
+			st = pairUnstable
+			break
 		}
 		l.childOf[p] = id
+		l.childGen[p] = l.chGen
 	}
-	for _, id := range l.perLevel[t] {
-		if _, seen := l.childOf[id]; !seen {
-			return pairIncomplete
+	if st == pairStable {
+		for _, id := range l.perLevel[t] {
+			if l.childGen[id] != l.chGen {
+				st = pairIncomplete
+				break
+			}
 		}
 	}
-	return pairStable
-}
-
-// solve derives every class cardinality at the stable pair (t, t+1) and
-// returns their sum. At a stable pair |A'| = |A| for the unique child A'
-// of every class A, so counting the round-(t+1) messages between classes
-// A and B both ways gives |A|·mult(A'→B) = |B|·mult(B'→A). The leader's
-// class has cardinality 1 (its input is unique), and the round-(t+1)
-// communication graph is connected, so a BFS over red edges determines
-// every cardinality; the solution must be positive integers consistent on
-// every edge and must cover every visible class, else the view is still
-// incomplete and there is no candidate this round.
-func (l *leaderProc) solve(t int) (int, bool) {
-	clear(l.cards)
-	start := l.own[t]
-	var one big.Rat
-	one.SetInt64(1)
-	l.cards[start] = one
-	l.queue = append(l.queue[:0], start)
-	for len(l.queue) > 0 {
-		a := l.queue[0]
-		l.queue = l.queue[1:]
-		ca := l.cards[a]
-		for _, e := range l.info[l.childOf[a]].red {
-			b := e.Class
-			if b == a {
-				continue
-			}
-			// mult(B'→A): how many messages each B member heard from A.
-			var back int32
-			for _, be := range l.info[l.childOf[b]].red {
-				if be.Class == a {
-					back = be.Mult
-					break
-				}
-			}
-			if back == 0 {
-				// A heard B but no B member heard A: impossible over
-				// undirected edges at a true stable pair.
-				return 0, false
-			}
-			// |B| = |A| · mult(A'→B) / mult(B'→A).
-			var cb big.Rat
-			cb.Mul(&ca, big.NewRat(int64(e.Mult), int64(back)))
-			if prev, seen := l.cards[b]; seen {
-				if prev.Cmp(&cb) != 0 {
-					return 0, false
-				}
-				continue
-			}
-			l.cards[b] = cb
-			l.queue = append(l.queue, b)
-		}
-	}
-	if len(l.cards) != len(l.perLevel[t]) {
-		// Some visible class is not yet red-connected to the leader's:
-		// the view is missing edges, wait for more information.
-		return 0, false
-	}
-	total := 0
-	for _, c := range l.cards {
-		if !c.IsInt() || c.Sign() <= 0 {
-			return 0, false
-		}
-		total += int(c.Num().Int64())
-	}
-	return total, true
+	l.cache.state = st
+	return st
 }
 
 // Count runs the history-tree counting protocol on net with the given
@@ -362,6 +437,7 @@ func Count(net dynet.Dynamic, leader graph.NodeID, maxRounds int, run Runner) (c
 		Net:       net,
 		Procs:     procs,
 		Canon:     canonMsg,
+		CanonKey:  canonKey,
 		MaxRounds: maxRounds,
 	}
 	value, rounds, ok, err := runtime.RunUntilOutput(cfg, int(leader), run)

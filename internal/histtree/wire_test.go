@@ -1,0 +1,82 @@
+package histtree
+
+import (
+	"testing"
+
+	"anondyn/internal/dynet"
+	"anondyn/internal/graph"
+	"anondyn/internal/runtime"
+)
+
+// snapshotProc is a legacy full-snapshot sender: same protocol state
+// machine, but every broadcast is a viewMsg carrying a fresh copy of the
+// whole bitset, as the pre-delta wire format did.
+type snapshotProc struct {
+	proc
+}
+
+func (p *snapshotProc) Send(int) runtime.Message {
+	return viewMsg{cur: p.cur, hash: p.curHash, bits: p.view.Snapshot()}
+}
+
+// runMixed replicates Count's harness with every third process (leader
+// excluded) demoted to the legacy full-snapshot wire format.
+func runMixed(t *testing.T, net dynet.Dynamic, leader graph.NodeID, maxRounds int) (int, int) {
+	t.Helper()
+	n := net.N()
+	tree := New()
+	procs := make([]runtime.Process, n)
+	for i := range procs {
+		switch {
+		case graph.NodeID(i) == leader:
+			procs[i] = newLeaderProc(tree)
+		case i%3 == 0:
+			procs[i] = &snapshotProc{proc: newProc(tree, false)}
+		default:
+			p := newProc(tree, false)
+			procs[i] = &p
+		}
+	}
+	cfg := &runtime.Config{
+		Net:       net,
+		Procs:     procs,
+		Canon:     canonMsg,
+		CanonKey:  canonKey,
+		MaxRounds: maxRounds,
+	}
+	value, rounds, ok, err := runtime.RunUntilOutput(cfg, int(leader), runtime.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("mixed-wire leader did not terminate within %d rounds", maxRounds)
+	}
+	return value, rounds
+}
+
+// TestWireCompatMixedSenders runs the counting protocol with delta-encoded
+// and legacy full-snapshot senders side by side. base ∪ delta is the full
+// view, so a receiver must compute the identical result — same count, same
+// round — whichever encoding each neighbor speaks.
+func TestWireCompatMixedSenders(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 25} {
+		g, err := graph.Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := dynet.NewStatic(g)
+		budget := 4*n + 10
+		count, rounds, err := Count(net, 0, budget, runtime.RunSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != n {
+			t.Fatalf("n=%d: pure-delta Count = %d", n, count)
+		}
+		mixedCount, mixedRounds := runMixed(t, net, 0, budget)
+		if mixedCount != count || mixedRounds != rounds {
+			t.Fatalf("n=%d: mixed wire = (%d, %d rounds), pure delta = (%d, %d rounds)",
+				n, mixedCount, mixedRounds, count, rounds)
+		}
+	}
+}

@@ -57,7 +57,7 @@ func RunConcurrentCtx(ctx context.Context, cfg *Config) (int, error) {
 		// round barriers give the required happens-before edges (assemble
 		// precedes the deliver sends, and every Receive completes before
 		// the coordinator's next assemble).
-		sc = newRoundScratch(cfg, n)
+		sc = newAssembler(cfg, n)
 
 		start = make([]chan roundWork, n)
 		// deliver carries each worker's inbox slice for the round: an

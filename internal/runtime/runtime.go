@@ -29,12 +29,12 @@
 package runtime
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
 	"slices"
-	"strings"
 	"time"
 
 	"anondyn/internal/dynet"
@@ -91,6 +91,14 @@ type Outputter interface {
 // inbox, making delivery deterministic without leaking sender identity.
 type Canonicalizer func(Message) string
 
+// KeyCanonicalizer is the integer fast path of Canonicalizer: it converts a
+// message to a canonical uint64 key. Producing a uint64 instead of a string
+// keeps the per-sender canonicalization and the per-round key sorts
+// allocation-free and turns every key comparison into one integer compare.
+// Protocols whose messages already carry a collision-free fingerprint (the
+// history-tree counter's structural hash, for instance) should prefer it.
+type KeyCanonicalizer func(Message) uint64
+
 // DefaultCanon formats the message with %#v. Protocol packages usually
 // provide a cheaper, collision-free encoding of their own message type.
 func DefaultCanon(m Message) string { return fmt.Sprintf("%#v", m) }
@@ -113,8 +121,16 @@ type Config struct {
 	// Procs holds one Process per node; Procs[i] runs at node i.
 	Procs []Process
 	// Canon canonicalizes messages for deterministic delivery order.
-	// Nil means DefaultCanon.
+	// Nil means DefaultCanon. Ignored when CanonKey is set.
 	Canon Canonicalizer
+	// CanonKey, if non-nil, replaces Canon with an allocation-free integer
+	// canonical key: inboxes are sorted by ascending uint64 key, ties
+	// broken by sender id exactly as on the string path, in all three
+	// engines. The caller owns collision behavior the same way it does
+	// with Canon — messages mapping to the same key form one ordering
+	// class. Protocol packages with an id-free message fingerprint should
+	// set this; the string Canon remains as the general fallback.
+	CanonKey KeyCanonicalizer
 	// MaxRounds bounds the execution length.
 	MaxRounds int
 	// RoundDeadline, if positive, bounds the wall-clock duration of each
@@ -255,9 +271,18 @@ func guardSetDegree(da DegreeAware, v, r, degree int) (err error) {
 }
 
 // inboxEntry pairs a broadcast with its canonical key for sorting.
-type inboxEntry struct {
-	key string
+type inboxEntry[K cmp.Ordered] struct {
+	key K
 	msg Message
+}
+
+// assembler groups a round's broadcasts into canonically ordered
+// per-receiver inboxes. The sequential and concurrent engines hold one per
+// run; the two instantiations of roundScratch (string keys from Canon,
+// uint64 keys from CanonKey) both satisfy it, so the engines' round loops
+// stay key-type agnostic.
+type assembler interface {
+	assemble(g *graph.Graph, outbox []Message) [][]Message
 }
 
 // roundScratch holds the engine-owned buffers reused across rounds when
@@ -266,17 +291,27 @@ type inboxEntry struct {
 // comparison), and the neighbor/sort scratch. Reuse is what makes the
 // round loop allocation-free in steady state — and is why inbox slices
 // handed to Process.Receive are valid only during the call (see the
-// Receive ownership rule).
-type roundScratch struct {
-	canon   Canonicalizer
+// Receive ownership rule). It is generic over the canonical key type:
+// string for Config.Canon, uint64 for the Config.CanonKey fast path.
+type roundScratch[K cmp.Ordered] struct {
+	canon   func(Message) K
 	inboxes [][]Message
-	keys    []string
+	keys    []K
 	nb      []graph.NodeID
-	entries []inboxEntry
+	entries []inboxEntry[K]
 }
 
-func newRoundScratch(cfg *Config, n int) *roundScratch {
-	return &roundScratch{
+// newAssembler picks the key representation for the run: the uint64 fast
+// path when Config.CanonKey is set, the string path otherwise.
+func newAssembler(cfg *Config, n int) assembler {
+	if cfg.CanonKey != nil {
+		return &roundScratch[uint64]{
+			canon:   cfg.CanonKey,
+			inboxes: make([][]Message, n),
+			keys:    make([]uint64, n),
+		}
+	}
+	return &roundScratch[string]{
 		canon:   cfg.canon(),
 		inboxes: make([][]Message, n),
 		keys:    make([]string, n),
@@ -287,7 +322,7 @@ func newRoundScratch(cfg *Config, n int) *roundScratch {
 // canonically. outbox[i] is the message node i broadcast on graph g. The
 // returned slices are owned by the scratch and overwritten by the next
 // assemble call.
-func (sc *roundScratch) assemble(g *graph.Graph, outbox []Message) [][]Message {
+func (sc *roundScratch[K]) assemble(g *graph.Graph, outbox []Message) [][]Message {
 	n := g.N()
 	for u := 0; u < n; u++ {
 		sc.keys[u] = sc.canon(outbox[u])
@@ -296,13 +331,22 @@ func (sc *roundScratch) assemble(g *graph.Graph, outbox []Message) [][]Message {
 		sc.nb = g.NeighborsAppend(graph.NodeID(v), sc.nb[:0])
 		sc.entries = sc.entries[:0]
 		for _, u := range sc.nb {
-			sc.entries = append(sc.entries, inboxEntry{key: sc.keys[u], msg: outbox[u]})
+			sc.entries = append(sc.entries, inboxEntry[K]{key: sc.keys[u], msg: outbox[u]})
 		}
 		// Stable by key with senders pre-sorted by NodeID: the same
 		// delivery order the previous sort.SliceStable-per-inbox produced.
-		slices.SortStableFunc(sc.entries, func(a, b inboxEntry) int {
-			return strings.Compare(a.key, b.key)
-		})
+		// Inboxes of at most two messages — every node of a cycle or path,
+		// the protocol families' common case — order with one comparison
+		// instead of a generic sort call.
+		if len(sc.entries) == 2 {
+			if sc.entries[1].key < sc.entries[0].key {
+				sc.entries[0], sc.entries[1] = sc.entries[1], sc.entries[0]
+			}
+		} else if len(sc.entries) > 2 {
+			slices.SortStableFunc(sc.entries, func(a, b inboxEntry[K]) int {
+				return cmp.Compare(a.key, b.key)
+			})
+		}
 		in := sc.inboxes[v][:0]
 		for i := range sc.entries {
 			in = append(in, sc.entries[i].msg)

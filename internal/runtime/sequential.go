@@ -34,7 +34,7 @@ func RunSequentialCtx(ctx context.Context, cfg *Config) (int, error) {
 	m := cfg.metrics()
 	n := cfg.Net.N()
 	outbox := make([]Message, n)
-	sc := newRoundScratch(cfg, n)
+	sc := newAssembler(cfg, n)
 	for r := 0; r < cfg.MaxRounds; r++ {
 		if err := ctx.Err(); err != nil {
 			m.cancels.Inc()

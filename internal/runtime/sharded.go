@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
@@ -68,28 +69,30 @@ func shardBounds(n, nw, s int) (lo, hi int) {
 // (deterministic: nodes are iterated ascending), with per-key counts. The
 // coordinator merges the censuses into the global canonical ranking and
 // hands back, per local key, the placement cursor into the global order
-// array.
-type shardState struct {
+// array. It is generic over the canonical key type — string for
+// Config.Canon, uint64 for the Config.CanonKey fast path — so the uint64
+// path never materializes a key string anywhere in the round.
+type shardState[K cmp.Ordered] struct {
 	lo, hi int
 	node   int // node currently executing protocol code, for panic attribution
 
-	localMap  map[string]int32 // canonical key -> local census index
-	localKeys []string         // census index -> key, first-seen order
-	localCnt  []int32          // census index -> own senders with that key
-	toGlobal  []int32          // census index -> coordinator's distinct-key index
-	placePos  []int32          // census index -> next free slot in the order array
+	localMap  map[K]int32 // canonical key -> local census index
+	localKeys []K         // census index -> key, first-seen order
+	localCnt  []int32     // census index -> own senders with that key
+	toGlobal  []int32     // census index -> coordinator's distinct-key index
+	placePos  []int32     // census index -> next free slot in the order array
 }
 
-// keyRankSorter sorts the distinct-key permutation by key string. It is a
-// stored sort.Interface so the per-round sort allocates nothing.
-type keyRankSorter struct {
-	keys []string
+// keyRankSorter sorts the distinct-key permutation by key. It is a stored
+// sort.Interface so the per-round sort allocates nothing.
+type keyRankSorter[K cmp.Ordered] struct {
+	keys []K
 	perm []int32
 }
 
-func (s *keyRankSorter) Len() int           { return len(s.perm) }
-func (s *keyRankSorter) Less(i, j int) bool { return s.keys[s.perm[i]] < s.keys[s.perm[j]] }
-func (s *keyRankSorter) Swap(i, j int)      { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+func (s *keyRankSorter[K]) Len() int           { return len(s.perm) }
+func (s *keyRankSorter[K]) Less(i, j int) bool { return s.keys[s.perm[i]] < s.keys[s.perm[j]] }
+func (s *keyRankSorter[K]) Swap(i, j int)      { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
 
 // phase identifiers sent over the start channels.
 const (
@@ -98,10 +101,20 @@ const (
 	phaseDeliver = 3 // fill own receivers' arena ranges, run Receive
 )
 
+// RunShardedCtx validates the configuration and dispatches to the key-typed
+// engine body: the uint64 census path when Config.CanonKey is set, the
+// string path otherwise. Both instantiations execute identical semantics.
 func RunShardedCtx(ctx context.Context, cfg *Config) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	if cfg.CanonKey != nil {
+		return runShardedCtx(ctx, cfg, cfg.CanonKey)
+	}
+	return runShardedCtx(ctx, cfg, cfg.canon())
+}
+
+func runShardedCtx[K cmp.Ordered](ctx context.Context, cfg *Config, canon func(Message) K) (int, error) {
 	m := cfg.metrics()
 	n := cfg.Net.N()
 	if n == 0 || cfg.MaxRounds == 0 {
@@ -119,11 +132,10 @@ func RunShardedCtx(ctx context.Context, cfg *Config) (int, error) {
 	}
 	m.shards.Set(int64(nw))
 
-	canon := cfg.canon()
 	var (
 		// Struct-of-arrays node state, reused every round.
 		outbox = make([]Message, n)
-		keys   = make([]string, n)
+		keys   = make([]K, n)
 		kidx   = make([]int32, n) // per node: census index within its shard
 		order  = make([]int32, n) // senders in canonical (key, id) order
 		cur    = make([]int, n)   // per node: next write offset into flat
@@ -132,14 +144,14 @@ func RunShardedCtx(ctx context.Context, cfg *Config) (int, error) {
 		da    = make([]DegreeAware, n)
 		anyDA bool
 
-		shards = make([]shardState, nw)
+		shards = make([]shardState[K], nw)
 
 		// Coordinator distinct-key scratch, reused every round.
-		gIdx   = make(map[string]int32)
-		dKeys  []string
+		gIdx   = make(map[K]int32)
+		dKeys  []K
 		dTotal []int32
 		acc    []int32
-		sorter keyRankSorter
+		sorter keyRankSorter[K]
 
 		// Topology state. csr is the round's snapshot; the conversion
 		// cache holds while the map-graph pointer is unchanged.
@@ -156,7 +168,7 @@ func RunShardedCtx(ctx context.Context, cfg *Config) (int, error) {
 	}
 	for s := range shards {
 		lo, hi := shardBounds(n, nw, s)
-		shards[s] = shardState{lo: lo, hi: hi, localMap: make(map[string]int32)}
+		shards[s] = shardState[K]{lo: lo, hi: hi, localMap: make(map[K]int32)}
 	}
 	csrDyn, _ := cfg.Net.(dynet.CSRDynamic)
 	if cfg.Adaptive != nil {
@@ -207,7 +219,7 @@ func RunShardedCtx(ctx context.Context, cfg *Config) (int, error) {
 		start[s] = make(chan int, 1)
 	}
 
-	runPhase := func(sh *shardState, ph int) {
+	runPhase := func(sh *shardState[K], ph int) {
 		r := round
 		switch ph {
 		case phaseSend:
